@@ -1,0 +1,22 @@
+"""Benchmark harness configuration.
+
+Every benchmark prints the paper's corresponding table/figure rows
+(paper value vs ours) in addition to timing its regeneration, so running
+``pytest benchmarks/ --benchmark-only -s`` reproduces the whole evaluation
+section.  Set ``REPRO_FULL_SCALE=1`` to include the level-16/17 trees
+(minutes of tree building); the default covers levels 13-15 plus the
+paper-resolution node-level and parcelport models.
+"""
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL_SCALE", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def scale_levels():
+    return (13, 14, 15, 16, 17) if full_scale() else (13, 14, 15)

@@ -1,0 +1,100 @@
+"""Sec. 4.3 ablation: interaction-list AoS vs stencil-based SoA kernels.
+
+"Originally, lookup of close neighbor cells was performed using an
+interaction list, and data was stored in an array-of-struct format. ...
+we changed it to a stencil-based approach and are now utilizing a
+struct-of-arrays datastructure ... this led to a speedup of the total
+application runtime between 1.90 and 2.22 on AVX512 CPUs and between 1.23
+and 1.35 on AVX2 CPUs."
+
+We reproduce the design comparison in NumPy terms: the same
+monopole-monopole interactions evaluated (a) per cell through an explicit
+interaction list over AoS records, and (b) as whole-stencil SoA batches.
+The shape claim — the stencil/SoA layout wins — holds here too (by a much
+larger factor, since batch-vectorization is NumPy's analogue of SIMD).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import STENCIL_SIZE
+from repro.core.gravity.stencil import canonical_stencil
+
+N = 8            # one sub-grid edge
+HALO = 5
+
+
+def _setup():
+    rng = np.random.default_rng(2)
+    m = N + 2 * HALO
+    rho = rng.uniform(0.1, 1.0, (m, m, m))
+    stencil = canonical_stencil()
+    assert len(stencil) == STENCIL_SIZE
+    return rho, stencil
+
+
+def _interaction_list_aos(rho, stencil):
+    """The 'old' layout: per-cell Python records and an explicit list."""
+    m = rho.shape[0]
+    cells = [
+        {"pos": (i, j, k), "mass": rho[i, j, k], "phi": 0.0}
+        for i in range(HALO, HALO + N)
+        for j in range(HALO, HALO + N)
+        for k in range(HALO, HALO + N)
+    ]
+    for cell in cells:
+        i, j, k = cell["pos"]
+        acc = 0.0
+        for (di, dj, dk) in stencil[::16]:          # subsampled list
+            w = rho[i + di, j + dj, k + dk]
+            r = np.sqrt(di * di + dj * dj + dk * dk)
+            acc -= w / r
+        cell["phi"] = acc
+    return np.array([c["phi"] for c in cells])
+
+
+def _stencil_soa(rho, stencil):
+    """The paper's redesign: one vectorized sweep per stencil offset."""
+    inner = rho[HALO:HALO + N, HALO:HALO + N, HALO:HALO + N]
+    phi = np.zeros_like(inner)
+    for (di, dj, dk) in stencil[::16]:
+        shifted = rho[HALO + di:HALO + di + N,
+                      HALO + dj:HALO + dj + N,
+                      HALO + dk:HALO + dk + N]
+        r = np.sqrt(di * di + dj * dj + dk * dk)
+        phi -= shifted / r
+    return phi.reshape(-1)
+
+
+def test_layouts_agree():
+    rho, stencil = _setup()
+    a = _interaction_list_aos(rho, stencil)
+    b = _stencil_soa(rho, stencil)
+    np.testing.assert_allclose(a, b, rtol=1e-12)
+
+
+def test_interaction_list_aos(benchmark):
+    rho, stencil = _setup()
+    benchmark(_interaction_list_aos, rho, stencil)
+
+
+def test_stencil_soa(benchmark):
+    rho, stencil = _setup()
+    benchmark(_stencil_soa, rho, stencil)
+
+
+def test_soa_speedup_exceeds_paper_band(capsys):
+    """The stencil/SoA rewrite must win by at least the paper's 1.23x."""
+    import time
+    rho, stencil = _setup()
+    t0 = time.perf_counter()
+    _interaction_list_aos(rho, stencil)
+    t_aos = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    _stencil_soa(rho, stencil)
+    t_soa = time.perf_counter() - t0
+    speedup = t_aos / t_soa
+    with capsys.disabled():
+        print(f"\nstencil-SoA speedup over interaction-list AoS: "
+              f"{speedup:.1f}x (paper: 1.23-2.22x on SIMD CPUs)")
+    assert speedup > 1.23

@@ -1,0 +1,82 @@
+"""Figure 2: relative speedup vs processed sub-grids on one node.
+
+Regenerates the combined weak/strong scaling graph: speedup of levels
+14-17 over 1..5400 Piz Daint nodes for both parcelports, plus the
+headline efficiency numbers of Sec. 6.3.
+"""
+
+import pytest
+
+from repro.analysis import format_table, parallel_efficiency
+from repro.network import PARCELPORTS
+from repro.simulator import PIZ_DAINT, StepModel
+from repro.simulator.scaling import (PAPER_NODE_COUNTS, cached_profile,
+                                     reference_rate, scaling_sweep)
+
+from conftest import full_scale
+
+#: Sec. 6.3 headline efficiencies (libfabric, % of the 1-node reference)
+PAPER_EFFICIENCIES = {(16, 256): 71.4, (16, 5400): 21.2,
+                      (17, 1024): 78.4, (17, 2048): 68.1}
+
+
+def test_fig2_speedup_series(benchmark, capsys, scale_levels):
+    levels = tuple(l for l in scale_levels if l >= 14)
+    max_nodes = 5400 if full_scale() else 512
+
+    points = benchmark.pedantic(
+        scaling_sweep, kwargs=dict(levels=levels, max_nodes=max_nodes),
+        rounds=1, iterations=1)
+
+    rows = [[p.level, p.n_nodes, p.parcelport, f"{p.speedup:.1f}",
+             f"{p.efficiency * 100:.1f}"] for p in points]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["level", "nodes", "parcelport", "speedup", "efficiency %"],
+            rows, title="Fig. 2 - speedup w.r.t. level 14 on one node"))
+
+    by_key = {(p.level, p.n_nodes, p.parcelport): p for p in points}
+    # weak scaling near-ideal along the constant-work diagonal
+    diag = [(14, 1), (15, 4)] + ([(16, 16)] if 16 in levels else [])
+    for level, n in diag:
+        p = by_key[(level, n, "libfabric")]
+        assert p.efficiency > 0.7, f"weak point L{level}@{n}"
+    # strong scaling tails off: efficiency decreases with node count
+    for level in levels:
+        effs = [by_key[(level, n, "libfabric")].efficiency
+                for n in PAPER_NODE_COUNTS
+                if (level, n, "libfabric") in by_key]
+        assert effs[0] > effs[-1]
+    # libfabric >= MPI at every large-run point
+    for (level, n, port), p in by_key.items():
+        if port == "libfabric" and n >= 256:
+            assert p.speedup >= by_key[(level, n, "mpi")].speedup
+
+
+@pytest.mark.skipif(not full_scale(), reason="set REPRO_FULL_SCALE=1 for "
+                    "the level-16/17 headline numbers")
+def test_headline_efficiencies(benchmark, capsys):
+    """Sec. 6.3: 78.4% @ L17/1024, 68.1% @ L17/2048, 71.4% @ L16/256,
+    21.2% @ L16/5400 (libfabric)."""
+    lf = PARCELPORTS["libfabric"]
+
+    def run():
+        ref = reference_rate()
+        out = {}
+        for (level, n), paper in PAPER_EFFICIENCIES.items():
+            model = StepModel(cached_profile(level), PIZ_DAINT)
+            rate = model.step_time(n, lf).subgrids_per_second
+            out[(level, n)] = (parallel_efficiency(rate, n, ref) * 100,
+                               paper)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[f"L{lvl}", n, f"{ours:.1f}", paper]
+            for (lvl, n), (ours, paper) in sorted(out.items())]
+    with capsys.disabled():
+        print()
+        print(format_table(["level", "nodes", "ours %", "paper %"], rows,
+                           title="Sec. 6.3 headline efficiencies"))
+    for (lvl, n), (ours, paper) in out.items():
+        assert ours == pytest.approx(paper, abs=12.0), f"L{lvl}@{n}"

@@ -1,0 +1,49 @@
+"""Figure 3: ratio of processed sub-grids/s, libfabric over MPI.
+
+Regenerates the ratio curves for levels 14-16: slightly below 1 at small
+node counts (polling penalty), climbing toward ~2.5-2.8x at the largest
+runs ("outperforms it by a factor of almost 3", Sec. 6.3).
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.simulator.scaling import parcelport_ratio
+
+from conftest import full_scale
+
+
+def test_fig3_ratio_series(benchmark, capsys, scale_levels):
+    levels = tuple(l for l in scale_levels if 14 <= l <= 16)
+    max_nodes = 5400 if full_scale() else 1024
+
+    series = benchmark.pedantic(
+        parcelport_ratio, kwargs=dict(levels=levels, max_nodes=max_nodes),
+        rounds=1, iterations=1)
+
+    rows = [[f"L{lvl}", n, f"{r:.3f}"] for lvl, n, r in series]
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["level", "nodes", "libfabric/MPI"], rows,
+            title="Fig. 3 - parcelport throughput ratio"))
+
+    by_key = {(lvl, n): r for lvl, n, r in series}
+    # the dip: lf <= ~parity at the smallest multi-node runs
+    assert by_key[(14, 2)] < 1.05
+    # the gain: ratio grows monotonically-ish and exceeds 1.8 at scale
+    biggest = max(n for lvl, n, _ in series if lvl == 14)
+    assert by_key[(14, biggest)] > 1.8
+    for lvl in levels:
+        ns = sorted(n for l, n, _ in series if l == lvl)
+        assert by_key[(lvl, ns[-1])] > by_key[(lvl, ns[0])]
+
+
+@pytest.mark.skipif(not full_scale(), reason="set REPRO_FULL_SCALE=1")
+def test_peak_ratio_near_paper(benchmark):
+    """At the largest runs the paper reports up to ~2.8x."""
+    series = benchmark.pedantic(
+        parcelport_ratio, kwargs=dict(levels=(14, 15), max_nodes=5400),
+        rounds=1, iterations=1)
+    peak = max(r for _l, _n, r in series)
+    assert 2.0 < peak < 3.2

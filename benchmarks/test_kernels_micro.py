@@ -1,0 +1,65 @@
+"""Microbenchmarks of the building-block kernels.
+
+Not tied to a single table, but they back Table 2's cost model: one
+monopole vs one multipole kernel launch (the 12- vs 455-flop classes of
+Sec. 4.3), one FMM solve, and one hydro RHS evaluation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (INTERACTIONS_PER_LAUNCH,
+                            MONOPOLE_KERNEL_FLOPS, MULTIPOLE_KERNEL_FLOPS)
+from repro.core import FmmSolver, IdealGas, NF, NGHOST, RHO, EGAS, TAU
+from repro.core.gravity.kernels import m2l_pair, p2p_pair
+from repro.core.hydro.solver import HydroOptions, compute_rhs
+from repro.core.mesh import apply_boundary
+
+
+@pytest.fixture(scope="module")
+def pair_batch():
+    rng = np.random.default_rng(4)
+    n = INTERACTIONS_PER_LAUNCH // 8       # one sub-grid's worth / 8
+    dR = rng.normal(size=(n, 3)) * 6 + 5
+    mA = rng.uniform(0.5, 2.0, n)
+    mB = rng.uniform(0.5, 2.0, n)
+    M2 = rng.normal(size=(n, 3, 3))
+    M2 = 0.5 * (M2 + M2.transpose(0, 2, 1))
+    return dR, mA, mB, M2
+
+
+def test_monopole_kernel_batch(benchmark, pair_batch):
+    """The 12-flop interaction class."""
+    dR, mA, mB, _ = pair_batch
+    benchmark(p2p_pair, dR, mA, mB)
+
+
+def test_multipole_kernel_batch(benchmark, pair_batch):
+    """The 455-flop interaction class."""
+    dR, mA, mB, M2 = pair_batch
+    benchmark(m2l_pair, dR, mA, mB, M2, M2)
+
+
+def test_flop_ratio_matches_paper():
+    assert MULTIPOLE_KERNEL_FLOPS / MONOPOLE_KERNEL_FLOPS \
+        == pytest.approx(455 / 12)
+
+
+def test_fmm_solve_16(benchmark):
+    rng = np.random.default_rng(5)
+    rho = rng.uniform(0.1, 1.0, (16, 16, 16))
+    solver = FmmSolver.from_uniform(rho, 1.0 / 16)
+    benchmark.pedantic(solver.solve, rounds=2, iterations=1)
+
+
+def test_hydro_rhs_32(benchmark):
+    rng = np.random.default_rng(6)
+    opts = HydroOptions(eos=IdealGas())
+    m = 32 + 2 * NGHOST
+    U = np.zeros((NF, m, m, m))
+    U[RHO] = rng.uniform(0.5, 2.0, (m, m, m))
+    U[EGAS] = rng.uniform(0.5, 2.0, (m, m, m))
+    U[TAU] = IdealGas().tau_from_eint(U[EGAS])
+    apply_boundary(U, "periodic")
+    benchmark.pedantic(compute_rhs, args=(U, 1.0 / 32, opts),
+                       rounds=3, iterations=1)

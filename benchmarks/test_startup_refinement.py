@@ -1,0 +1,31 @@
+"""Sec. 6.3 start-up claim: refining the level-13 restart to level 16/17
+is ~an order of magnitude faster over libfabric."""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.network import PARCELPORTS
+from repro.simulator import startup_speedup, startup_time
+
+LF = PARCELPORTS["libfabric"]
+MPI = PARCELPORTS["mpi"]
+
+
+def test_startup_table(benchmark, capsys):
+    def run():
+        rows = []
+        for level, nodes in ((14, 64), (15, 256), (16, 1024), (17, 2048)):
+            t_mpi = startup_time(level, nodes, MPI)
+            t_lf = startup_time(level, nodes, LF)
+            rows.append([level, nodes, f"{t_mpi:.2f}", f"{t_lf:.2f}",
+                         f"{t_mpi / t_lf:.1f}"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["level", "nodes", "MPI s", "libfabric s", "ratio"], rows,
+            title="Sec. 6.3 - start-up (restart refinement) times"))
+    for level, nodes in ((16, 1024), (17, 2048)):
+        assert startup_speedup(level, nodes, (MPI, LF)) > 7.0

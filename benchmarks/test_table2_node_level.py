@@ -1,0 +1,72 @@
+"""Table 2: FMM kernel node-level performance on the paper's platforms.
+
+Regenerates the nine rows (GFLOP/s and fraction of peak per platform
+configuration) plus the Sec. 6.1.2 GPU kernel-launch fractions.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.simulator import TABLE2_CONFIGS, measure_node, with_gpus
+from repro.simulator.platforms import (V100, XEON_E5_2660V3_10C,
+                                       XEON_E5_2660V3_20C)
+
+#: paper values: name -> (GFLOP/s, fraction of peak %)
+PAPER_TABLE2 = {
+    "E5-2660v3 10c, CPU-only": (125, 30),
+    "E5-2660v3 10c + 1x V100": (2271, 32),
+    "E5-2660v3 10c + 2x V100": (3185, 22),
+    "E5-2660v3 20c, CPU-only": (250, 30),
+    "E5-2660v3 20c + 1x V100": (1516, 22),
+    "E5-2660v3 20c + 2x V100": (5188, 37),
+    "Xeon Phi 7210 64c": (459, 17),
+    "Piz Daint node, CPU-only": (157, 31),
+    "Piz Daint node + 1x P100": (973, 21),
+}
+
+
+def _generate_rows():
+    rows = []
+    for name, node in TABLE2_CONFIGS:
+        r = measure_node(node)
+        pg, pf = PAPER_TABLE2[name]
+        rows.append([name, round(r.gflops), f"{r.fraction_of_peak*100:.1f}",
+                     pg, pf, f"{r.gpu_fraction*100:.4f}"])
+    return rows
+
+
+def test_table2_rows(benchmark, capsys):
+    rows = benchmark.pedantic(_generate_rows, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["platform", "GF/s", "% peak", "paper GF/s", "paper %",
+             "GPU launch %"], rows,
+            title="Table 2 - FMM node-level performance (model vs paper)"))
+    # the CPU rows follow the paper's accounting exactly
+    by_name = {r[0]: r for r in rows}
+    assert by_name["E5-2660v3 10c, CPU-only"][1] == 125
+    assert by_name["E5-2660v3 20c, CPU-only"][1] == 250
+    assert by_name["Xeon Phi 7210 64c"][1] in (458, 459)
+    assert by_name["Piz Daint node, CPU-only"][1] == 157
+    # GPU rows land within a factor ~1.8 of the paper's measurements
+    for name, (pg, _pf) in PAPER_TABLE2.items():
+        ours = by_name[name][1]
+        assert 0.45 < ours / pg < 2.2, name
+
+
+def test_launch_fractions(benchmark):
+    """Sec. 6.1.2: 10c + 1 V100 launches ~99.9997% of kernels on the GPU,
+    20c + 1 V100 only ~97.4995% — more feeders saturate the streams."""
+
+    def run():
+        ten = measure_node(with_gpus(XEON_E5_2660V3_10C, V100))
+        twenty = measure_node(with_gpus(XEON_E5_2660V3_20C, V100))
+        return ten, twenty
+
+    ten, twenty = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert ten.gpu_fraction > twenty.gpu_fraction
+    assert ten.gpu_fraction > 0.97
+    assert twenty.gpu_fraction > 0.85
+    # the corresponding performance inversion (2271 vs 1516 in the paper)
+    assert ten.gflops > twenty.gflops

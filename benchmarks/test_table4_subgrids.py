@@ -1,0 +1,42 @@
+"""Table 4: sub-grids and memory per level of refinement.
+
+Regenerates the (level, sub-grid count, memory GB) rows from the
+structural V1309 octree.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.simulator import TABLE4_PAPER_COUNTS
+from repro.simulator.scaling import cached_tree
+
+
+def test_table4_rows(benchmark, capsys, scale_levels):
+    def build():
+        return [(lvl, cached_tree(lvl).total_subgrids,
+                 cached_tree(lvl).memory_gb()) for lvl in scale_levels]
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = []
+    for lvl, n, mem in rows:
+        paper_n, paper_mem = TABLE4_PAPER_COUNTS[lvl]
+        table.append([lvl, n, paper_n, f"{n / paper_n:.2f}",
+                      f"{mem:.2f}", paper_mem])
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["level", "sub-grids", "paper", "ratio", "mem GB", "paper GB"],
+            table, title="Table 4 - tree size per level of refinement"))
+    for lvl, n, mem in rows:
+        paper_n, paper_mem = TABLE4_PAPER_COUNTS[lvl]
+        assert n == pytest.approx(paper_n, rel=0.25), f"level {lvl}"
+        assert mem == pytest.approx(paper_mem, rel=0.30), f"level {lvl}"
+
+
+def test_growth_ratios_sub_octree(benchmark, scale_levels):
+    """Table 4's growth per level stays below the naive x8."""
+    counts = benchmark.pedantic(
+        lambda: [cached_tree(lvl).total_subgrids for lvl in scale_levels],
+        rounds=1, iterations=1)
+    for a, b in zip(counts, counts[1:]):
+        assert 1.5 < b / a < 8.0

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Futurization + simulated CUDA streams: the Sec. 5.1 execution model.
+
+Demonstrates the runtime substrate on one "node": FMM kernels for a batch
+of sub-grids are launched through the paper's policy (GPU stream if one
+of the caller's streams is idle, CPU otherwise), with completions setting
+futures that chain into dependent tasks — no explicit synchronization
+anywhere.  Also prints the launch-fraction statistic the paper reports
+(97.4995% / 99.9997% of kernels on the GPU, Sec. 6.1.2).
+
+Run:  python examples/futurized_gpu_node.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.gravity.kernels import p2p_pair
+from repro.runtime import (CudaDevice, LaunchPolicy, StreamPool,
+                           WorkStealingScheduler, dataflow, when_all)
+
+
+def make_kernel(rng, n_pairs=2000):
+    """A monopole interaction batch, the 12-flop kernel of Sec. 4.3."""
+    dR = rng.normal(size=(n_pairs, 3)) * 6 + 5
+    mA = rng.uniform(0.5, 2.0, n_pairs)
+    mB = rng.uniform(0.5, 2.0, n_pairs)
+    return lambda: p2p_pair(dR, mA, mB)[0].sum()
+
+
+def main() -> None:
+    rng = np.random.default_rng(1)
+    n_subgrids = 256
+    kernels = [make_kernel(rng) for _ in range(n_subgrids)]
+
+    with CudaDevice(n_streams=32, n_workers=4, name="sim-P100") as gpu, \
+            WorkStealingScheduler(4) as cpu:
+        policy = LaunchPolicy(StreamPool([gpu]))
+
+        t0 = time.perf_counter()
+        # launch every sub-grid's kernel; attach a "communication"
+        # continuation to each (the halo send that follows the solve)
+        sends = []
+        for i, kern in enumerate(kernels):
+            fut = policy.launch(kern)
+            sends.append(fut.then(lambda f, i=i: ("sent", i, f.get()),
+                                  executor=cpu.post))
+        # a dependent reduction fires only when every send completed
+        total = dataflow(lambda results: sum(r[2] for r in results),
+                         when_all(sends).then(
+                             lambda f: [x.get() for x in f.get()]))
+        value = total.get()
+        elapsed = time.perf_counter() - t0
+
+    print(f"{n_subgrids} FMM kernels + continuations in {elapsed:.2f}s")
+    print(f"GPU launches: {policy.gpu_launches}, "
+          f"CPU fallbacks: {policy.cpu_launches}")
+    print(f"GPU launch fraction: {policy.gpu_fraction * 100:.4f}% "
+          "(the Sec. 6.1.2 statistic)")
+    print(f"reduction over all kernels: {value:.3f}")
+
+
+if __name__ == "__main__":
+    main()

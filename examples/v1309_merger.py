@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""The Fig. 1 scenario: a V1309 Scorpii-like contact binary.
+
+Builds the binary with the Hachisu SCF solver (mass ratio q ~ 0.11,
+synchronous rotation, common envelope), evolves a few coupled
+gravity+hydro steps in the rotating frame, prints an ASCII density slice
+through the orbital plane, and reports conservation — a laptop-scale
+version of the paper's production scenario.
+
+Run:  python examples/v1309_merger.py
+"""
+
+import numpy as np
+
+from repro.core import RHO, ConservationMonitor, v1309_binary
+
+GLYPHS = " .:-=+*#%@"
+
+
+def density_slice_ascii(rho: np.ndarray) -> str:
+    mid = rho.shape[2] // 2
+    slab = rho[:, :, mid].T
+    peak = slab.max()
+    rows = []
+    for row in slab[::-1]:
+        line = ""
+        for v in row:
+            t = np.log10(max(v, 1e-12) / peak)
+            idx = int(np.clip((t + 4.0) / 4.0, 0, 1) * (len(GLYPHS) - 1))
+            line += GLYPHS[idx] * 2
+        rows.append(line)
+    return "\n".join(rows)
+
+
+def main() -> None:
+    print("building the SCF contact-binary model (q = 0.11)...")
+    mesh = v1309_binary(M=16, scf_iters=25)
+    print(f"  orbital frequency Omega = {mesh.options.omega:.4f} "
+          f"(period {2 * np.pi / mesh.options.omega:.2f} code units)")
+    print(f"  total mass {mesh.conserved_totals()['mass']:.4f}\n")
+    print("density in the orbital plane (log scale):")
+    print(density_slice_ascii(mesh.interior[RHO]))
+
+    monitor = ConservationMonitor()
+    monitor.sample(mesh)
+    n_steps = 5
+    print(f"\nevolving {n_steps} coupled FMM+hydro steps "
+          "in the rotating frame...")
+    for _ in range(n_steps):
+        dt = min(mesh.compute_dt(), 0.02)
+        mesh.step(dt)
+        monitor.sample(mesh)
+    rep = monitor.report()
+    lz = monitor.records[-1].angular_momentum[2]
+    print(f"t = {mesh.time:.4f}: mass drift {rep['mass']:.2e}, "
+          f"Lz = {lz:.5f} (drift {rep['angular_momentum']:.2e})")
+    print("\nfinal density slice:")
+    print(density_slice_ascii(mesh.interior[RHO]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""repro: a reproduction of "From Piz Daint to the Stars" (SC 2019).
+
+Octo-Tiger-style octree-AMR hydrodynamics with momentum-conserving FMM
+gravity on an HPX-semantics asynchronous many-task runtime, plus a
+discrete-event cluster simulator reproducing the paper's node-level and
+full-system evaluation (see DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results).
+
+Subpackages
+-----------
+``repro.core``
+    The physics: sub-grids, octree AMR, PPM/KT hydro with the
+    Despres-Labourasse angular-momentum machinery, the cell-based FMM,
+    Lane-Emden/SCF initial models, scenario builders.
+``repro.runtime``
+    HPX-semantics futures, work-stealing scheduler, AGAS, parcels,
+    channels, simulated CUDA streams, performance counters.
+``repro.network``
+    MPI and libfabric parcelport cost models and the dragonfly topology.
+``repro.simulator``
+    Discrete-event models of the paper's platforms and of Piz Daint,
+    the structural V1309 tree (Table 4), and the scaling drivers.
+``repro.validation``
+    Analytic references (Sod, Sedov-Taylor) for the verification suite.
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, core, network, runtime, simulator, validation
+from .util import morton_encode, morton_key
+
+__all__ = ["analysis", "core", "network", "runtime", "simulator",
+           "validation", "morton_encode", "morton_key", "__version__"]

@@ -1,0 +1,17 @@
+"""Measurement, flop accounting and table formatting for the benchmarks."""
+
+from .flops import (STENCIL_SIZE, CELLS_PER_SUBGRID, INTERACTIONS_PER_LAUNCH,
+                    FLOPS_PER_MONOPOLE_INTERACTION,
+                    FLOPS_PER_MULTIPOLE_INTERACTION,
+                    MONOPOLE_KERNEL_FLOPS, MULTIPOLE_KERNEL_FLOPS,
+                    OTHER_FLOPS_PER_SUBGRID, KernelCounts,
+                    fmm_flops_per_solve)
+from .efficiency import speedup, parallel_efficiency, weak_efficiency
+from .tables import format_table
+
+__all__ = ["STENCIL_SIZE", "CELLS_PER_SUBGRID", "INTERACTIONS_PER_LAUNCH",
+           "FLOPS_PER_MONOPOLE_INTERACTION", "FLOPS_PER_MULTIPOLE_INTERACTION",
+           "MONOPOLE_KERNEL_FLOPS", "MULTIPOLE_KERNEL_FLOPS",
+           "OTHER_FLOPS_PER_SUBGRID", "KernelCounts", "fmm_flops_per_solve",
+           "speedup", "parallel_efficiency", "weak_efficiency",
+           "format_table"]

@@ -1,0 +1,31 @@
+"""Plain-text table formatting for the benchmark harness output."""
+
+from __future__ import annotations
+
+__all__ = ["format_table"]
+
+
+def format_table(headers: list[str], rows: list[list], title: str = ""
+                 ) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(c) -> str:
+    if isinstance(c, float):
+        if c == 0:
+            return "0"
+        if abs(c) >= 1e5 or abs(c) < 1e-3:
+            return f"{c:.3e}"
+        return f"{c:,.2f}" if abs(c) >= 10 else f"{c:.4g}"
+    return str(c)

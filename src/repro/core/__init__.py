@@ -1,0 +1,36 @@
+"""Octo-Tiger core physics: grid, octree AMR, hydro, FMM gravity, SCF."""
+
+from .grid import (SubGrid, RHO, SX, SY, SZ, EGAS, TAU, PASSIVE0, NPASSIVE,
+                   LX, LY, LZ, NF, NGHOST, SUBGRID_N, FIELD_NAMES)
+from .eos import IdealGas, DEFAULT_GAMMA
+from .mesh import Mesh, DistributedMesh, apply_boundary
+from .octree import Octree, OctreeNode, prolong, restrict
+from .amr import AmrMesh
+from .hydro.solver import HydroOptions, compute_rhs, cfl_dt
+from .gravity.fmm import FmmSolver, FmmLevel, GravityResult
+from .gravity.stencil import canonical_stencil, parity_stencils, p2p_stencil
+from .scf import (LaneEmdenSolution, solve_lane_emden, Polytrope,
+                  ScfResult, scf_single_star, scf_binary)
+from .scenario import (sod_tube, sedov_blast, equilibrium_star,
+                       v1309_binary, V1309_MASS_RATIO)
+from .radiation import (RadiationField, RadiationOptions, m1_closure,
+                        radiation_rhs, couple_matter, radiation_dt)
+from .stepper import ConservationMonitor, ConservationRecord, evolve
+
+__all__ = [
+    "SubGrid", "RHO", "SX", "SY", "SZ", "EGAS", "TAU", "PASSIVE0",
+    "NPASSIVE", "LX", "LY", "LZ", "NF", "NGHOST", "SUBGRID_N",
+    "FIELD_NAMES", "IdealGas", "DEFAULT_GAMMA",
+    "Mesh", "DistributedMesh", "apply_boundary",
+    "Octree", "OctreeNode", "prolong", "restrict", "AmrMesh",
+    "HydroOptions", "compute_rhs", "cfl_dt",
+    "FmmSolver", "FmmLevel", "GravityResult",
+    "canonical_stencil", "parity_stencils", "p2p_stencil",
+    "LaneEmdenSolution", "solve_lane_emden", "Polytrope",
+    "ScfResult", "scf_single_star", "scf_binary",
+    "sod_tube", "sedov_blast", "equilibrium_star", "v1309_binary",
+    "V1309_MASS_RATIO",
+    "ConservationMonitor", "ConservationRecord", "evolve",
+    "RadiationField", "RadiationOptions", "m1_closure", "radiation_rhs",
+    "couple_matter", "radiation_dt",
+]

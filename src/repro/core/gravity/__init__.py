@@ -1,0 +1,15 @@
+"""Cell-based FMM gravity: stencils, kernels, solver, direct reference."""
+
+from .direct import direct_field, direct_potential, direct_summation
+from .fmm import FmmLevel, FmmSolver, GravityResult
+from .kernels import greens, m2l_pair, p2p_pair, pair_torque
+from .multipole import aggregate_m2m, taylor_shift
+from .stencil import (OPENING_R2, canonical_stencil, p2p_stencil,
+                      parity_stencils, root_stencil, well_separated)
+
+__all__ = ["direct_field", "direct_potential", "direct_summation",
+           "FmmLevel", "FmmSolver", "GravityResult",
+           "greens", "m2l_pair", "p2p_pair", "pair_torque",
+           "aggregate_m2m", "taylor_shift",
+           "OPENING_R2", "canonical_stencil", "p2p_stencil",
+           "parity_stencils", "root_stencil", "well_separated"]

@@ -1,0 +1,136 @@
+"""FMM interaction kernels: Green-function derivatives and pair physics.
+
+The cell-to-cell interaction is derived from the *mutual* interaction
+energy of two cells A and B carrying mass m and raw second moments
+M2 = sum(m_i d_i (x) d_i) about their centres of mass:
+
+    U(R) = -[ mA mB g0(R) + 1/2 (mA M2B + mB M2A) : g2(R) ]
+
+with R = xA - xB and g0..g3 the derivative tensors of 1/r.  Everything the
+solver needs follows from U by differentiation, which is what makes the
+conservation claims of Sec. 4.2/4.3 structural rather than accidental:
+
+* the pair force F = -dU/dR is applied as +F to A and -F to B, so linear
+  momentum is conserved by construction;
+* U is rotationally invariant, so R x F + tau_A + tau_B = 0 *identically*
+  (Noether) — the quadrupole torques tau are realized on the cells'
+  internal structure through the Taylor Hessian during the downward pass,
+  which is the mechanism behind Octo-Tiger's angular-momentum-conserving
+  FMM (Marcello 2017);
+* monopole-monopole forces are parallel to R, so the leaf-level P2P pass
+  conserves angular momentum *bitwise* (R x cR = 0 exactly in IEEE
+  arithmetic).
+
+All kernels are vectorized over pair arrays (struct-of-arrays layout, as
+the paper's Sec. 4.3 kernels are).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["greens", "p2p_pair", "m2l_pair", "pair_torque", "LEVI_CIVITA"]
+
+#: Levi-Civita tensor for torque contractions
+LEVI_CIVITA = np.zeros((3, 3, 3))
+for _i, _j, _k, _s in ((0, 1, 2, 1), (1, 2, 0, 1), (2, 0, 1, 1),
+                       (0, 2, 1, -1), (2, 1, 0, -1), (1, 0, 2, -1)):
+    LEVI_CIVITA[_i, _j, _k] = _s
+
+_EYE = np.eye(3)
+
+
+def greens(dR: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                    np.ndarray]:
+    """Derivative tensors g0..g3 of 1/r at separations ``dR`` (n, 3).
+
+    g0 = 1/r, g1_i = d_i(1/r), g2_ij = d_i d_j (1/r),
+    g3_ijk = d_i d_j d_k (1/r).
+    """
+    dR = np.asarray(dR, dtype=np.float64)
+    r2 = np.einsum("ni,ni->n", dR, dR)
+    if np.any(r2 == 0.0):
+        raise ValueError("coincident cells in interaction kernel")
+    inv = 1.0 / np.sqrt(r2)
+    inv2 = inv * inv
+    inv3 = inv * inv2
+    inv5 = inv3 * inv2
+    inv7 = inv5 * inv2
+    g0 = inv
+    g1 = -dR * inv3[:, None]
+    outer = np.einsum("ni,nj->nij", dR, dR)
+    g2 = 3.0 * outer * inv5[:, None, None] - _EYE[None] * inv3[:, None, None]
+    trip = np.einsum("ni,nj,nk->nijk", dR, dR, dR)
+    sym = (np.einsum("ij,nk->nijk", _EYE, dR)
+           + np.einsum("ik,nj->nijk", _EYE, dR)
+           + np.einsum("jk,ni->nijk", _EYE, dR))
+    g3 = -15.0 * trip * inv7[:, None, None, None] \
+        + 3.0 * sym * inv5[:, None, None, None]
+    return g0, g1, g2, g3
+
+
+def p2p_pair(dR: np.ndarray, mA: np.ndarray, mB: np.ndarray
+             ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Monopole-monopole (leaf P2P) interaction, 12-flop class (Sec. 4.3).
+
+    Returns ``(phiA, phiB, accA, accB)``: potentials and accelerations.
+    ``accB`` is derived from the same force vector as ``accA`` so the pair
+    momentum change is exactly zero.
+    """
+    dR = np.asarray(dR, dtype=np.float64)
+    r2 = np.einsum("ni,ni->n", dR, dR)
+    inv = 1.0 / np.sqrt(r2)
+    inv3 = inv / r2
+    phiA = -mB * inv
+    phiB = -mA * inv
+    # force on A = -mA mB dR / r^3 ; accA = F/mA, accB = -F/mB
+    f = -(mA * mB * inv3)[:, None] * dR
+    accA = f / mA[:, None]
+    accB = -f / mB[:, None]
+    return phiA, phiB, accA, accB
+
+
+def m2l_pair(dR: np.ndarray, mA: np.ndarray, mB: np.ndarray,
+             M2A: np.ndarray, M2B: np.ndarray
+             ) -> tuple[np.ndarray, ...]:
+    """Multipole pair interaction, 455-flop class (Sec. 4.3).
+
+    Parameters are pair SoA arrays: separations ``dR = xA - xB`` (n, 3),
+    masses (n,), raw second moments (n, 3, 3).
+
+    Returns ``(phiA, phiB, accA, accB, HA, HB)``:
+
+    * ``phi``: potential at each cell's COM (monopole + quadrupole source),
+    * ``acc``: the *pair force* divided by the receiving mass — includes
+      both the source's quadrupole field and the receiver's own quadrupole
+      coupling to the field gradient, so ``mA accA == -mB accB`` exactly,
+    * ``H``: Hessian of the potential (for the L2L shift and the tidal
+      realization of quadrupole torques on child cells).
+    """
+    g0, g1, g2, g3 = greens(dR)
+    quad = mA[:, None, None] * M2B + mB[:, None, None] * M2A
+    # mutual energy U = -(mA mB g0 + 0.5 quad : g2)
+    # pair force on A: F = -dU/dR = mA mB g1 + 0.5 quad : g3
+    force = (mA * mB)[:, None] * g1 \
+        + 0.5 * np.einsum("njk,nijk->ni", quad, g3)
+    accA = force / mA[:, None]
+    accB = -force / mB[:, None]
+    phiA = -(mB * g0 + 0.5 * np.einsum("njk,njk->n", M2B, g2))
+    phiB = -(mA * g0 + 0.5 * np.einsum("njk,njk->n", M2A, g2))
+    HA = -mB[:, None, None] * g2
+    HB = -mA[:, None, None] * g2
+    return phiA, phiB, accA, accB, HA, HB
+
+
+def pair_torque(dR: np.ndarray, mA: np.ndarray, mB: np.ndarray,
+                M2A: np.ndarray, M2B: np.ndarray
+                ) -> tuple[np.ndarray, np.ndarray]:
+    """Analytic spin torques (tau_A, tau_B) of one multipole pair.
+
+    tau_A_l = mB eps_{jlm} M2A_{mk} g2_{jk}; used by the conservation
+    tests to verify the Noether identity R x F + tau_A + tau_B = 0.
+    """
+    _g0, _g1, g2, _g3 = greens(dR)
+    tauA = mB[:, None] * np.einsum("jlm,nmk,njk->nl", LEVI_CIVITA, M2A, g2)
+    tauB = mA[:, None] * np.einsum("jlm,nmk,njk->nl", LEVI_CIVITA, M2B, g2)
+    return tauA, tauB

@@ -1,0 +1,91 @@
+"""Kurganov-Tadmor central-upwind fluxes (Sec. 4.2).
+
+Octo-Tiger "uses the central advection scheme of [Kurganov & Tadmor
+2000]": a Riemann-solver-free flux built from the left/right reconstructed
+states and the maximal local signal speed,
+
+    F = 1/2 [F(qL) + F(qR)] - a/2 (U_R - U_L),   a = max(|u|+c over L,R).
+
+States are primitive: (rho, u, v, w, p, plus advected scalars); the flux
+acts on the conserved vector of :mod:`repro.core.grid`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..eos import IdealGas
+from ..grid import EGAS, NF, RHO, SX, TAU
+
+__all__ = ["kt_flux", "conserved_to_primitive", "primitive_to_conserved",
+           "physical_flux", "max_signal_speed"]
+
+
+def conserved_to_primitive(U: np.ndarray, eos: IdealGas,
+                           rho_floor: float = 1e-12) -> np.ndarray:
+    """Primitive variables W from a conserved block (NF, ...).
+
+    W layout matches U, with velocities in slots 1..3 and pressure in the
+    EGAS slot; tau and the passives become specific (per-mass) fractions.
+    """
+    W = np.empty_like(U)
+    rho = np.maximum(U[RHO], rho_floor)
+    W[RHO] = rho
+    inv = 1.0 / rho
+    for d in range(3):
+        W[SX + d] = U[SX + d] * inv
+    eint = eos.internal_energy(rho, U[SX], U[SX + 1], U[SX + 2],
+                               U[EGAS], U[TAU])
+    W[EGAS] = eos.pressure(rho, eint)
+    for f in range(TAU, NF):
+        W[f] = U[f] * inv
+    return W
+
+
+def primitive_to_conserved(W: np.ndarray, eos: IdealGas) -> np.ndarray:
+    """Inverse of :func:`conserved_to_primitive`."""
+    U = np.empty_like(W)
+    rho = W[RHO]
+    U[RHO] = rho
+    for d in range(3):
+        U[SX + d] = rho * W[SX + d]
+    eint = W[EGAS] / (eos.gamma - 1.0)
+    kin = 0.5 * rho * (W[SX] ** 2 + W[SX + 1] ** 2 + W[SX + 2] ** 2)
+    U[EGAS] = eint + kin
+    for f in range(TAU, NF):
+        U[f] = rho * W[f]
+    return U
+
+
+def physical_flux(W: np.ndarray, eos: IdealGas, axis: int) -> np.ndarray:
+    """Euler flux of the conserved vector along ``axis`` from primitives."""
+    rho = W[RHO]
+    un = W[SX + axis]
+    p = W[EGAS]
+    F = np.empty_like(W)
+    F[RHO] = rho * un
+    for d in range(3):
+        F[SX + d] = rho * W[SX + d] * un
+    F[SX + axis] = F[SX + axis] + p
+    eint = p / (eos.gamma - 1.0)
+    kin = 0.5 * rho * (W[SX] ** 2 + W[SX + 1] ** 2 + W[SX + 2] ** 2)
+    F[EGAS] = (eint + kin + p) * un
+    for f in range(TAU, NF):
+        F[f] = rho * W[f] * un
+    return F
+
+
+def max_signal_speed(W: np.ndarray, eos: IdealGas, axis: int) -> np.ndarray:
+    return np.abs(W[SX + axis]) + eos.sound_speed(W[RHO], W[EGAS])
+
+
+def kt_flux(WL: np.ndarray, WR: np.ndarray, eos: IdealGas,
+            axis: int) -> np.ndarray:
+    """The KT/local-Lax-Friedrichs flux from face-left/right primitives."""
+    FL = physical_flux(WL, eos, axis)
+    FR = physical_flux(WR, eos, axis)
+    a = np.maximum(max_signal_speed(WL, eos, axis),
+                   max_signal_speed(WR, eos, axis))
+    UL = primitive_to_conserved(WL, eos)
+    UR = primitive_to_conserved(WR, eos)
+    return 0.5 * (FL + FR) - 0.5 * a[None] * (UR - UL)

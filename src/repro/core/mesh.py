@@ -1,0 +1,446 @@
+"""Meshes: the driver layer that owns state, boundaries and gravity.
+
+Two implementations with identical physics:
+
+* :class:`Mesh` — one contiguous block.  This is the fast path for the
+  verification problems (Sod, Sedov-Taylor, star equilibria) and small
+  production runs; self-gravity comes from the FMM solver when the edge
+  is ``8 * 2^L`` cells.
+
+* :class:`DistributedMesh` — the same domain tiled into 8^3 sub-grids
+  (the paper's octree leaves at a fixed level) with halo exchange through
+  :class:`repro.runtime.Channel` objects and per-sub-grid tasks scheduled
+  on the work-stealing runtime — the futurized execution style of
+  Sec. 4.1/5.2.  Its results match :class:`Mesh` bit-for-bit given the
+  same inputs (tested), demonstrating that the runtime integration "does
+  not change the physics".
+
+Boundary conditions: ``outflow`` (zero gradient), ``reflect`` (mirror,
+normal momentum negated) and ``periodic``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..runtime.counters import default_registry
+from .eos import IdealGas
+from .grid import EGAS, LX, NF, NGHOST, RHO, SUBGRID_N, SX, TAU
+from .gravity.fmm import FmmSolver
+from .hydro.solver import HydroOptions, cfl_dt, compute_rhs
+
+__all__ = ["Mesh", "DistributedMesh", "apply_boundary"]
+
+_BCS = ("outflow", "reflect", "periodic")
+
+
+def apply_boundary(U: np.ndarray, bc: str) -> None:
+    """Fill the ghost shell of a block according to ``bc``."""
+    if bc not in _BCS:
+        raise ValueError(f"unknown boundary condition {bc!r}")
+    g = NGHOST
+    for axis in range(3):
+        n = U.shape[1 + axis] - 2 * g
+
+        def sl(a, b):
+            s = [slice(None)] * 4
+            s[1 + axis] = slice(a, b)
+            return tuple(s)
+
+        if bc == "periodic":
+            U[sl(0, g)] = U[sl(n, n + g)]
+            U[sl(n + g, n + 2 * g)] = U[sl(g, 2 * g)]
+        elif bc == "outflow":
+            U[sl(0, g)] = U[sl(g, g + 1)]
+            U[sl(n + g, n + 2 * g)] = U[sl(n + g - 1, n + g)]
+        else:  # reflect
+            for k in range(g):
+                U[sl(g - 1 - k, g - k)] = U[sl(g + k, g + k + 1)]
+                U[sl(n + g + k, n + g + k + 1)] = \
+                    U[sl(n + g - 1 - k, n + g - k)]
+            U[(SX + axis,) + sl(0, g)[1:]] *= -1.0
+            U[(SX + axis,) + sl(n + g, n + 2 * g)[1:]] *= -1.0
+
+
+class Mesh:
+    """A single uniform block with optional FMM self-gravity.
+
+    Parameters
+    ----------
+    n:
+        Cells per edge.
+    domain:
+        Physical edge length (cube); the lower corner sits at ``origin``.
+    bc:
+        Boundary condition name applied on all six faces.
+    self_gravity:
+        Solve gravity with the FMM each step (requires ``n = 8 * 2^L``).
+    """
+
+    def __init__(self, n: int | tuple[int, int, int], domain: float = 1.0,
+                 origin: tuple[float, float, float] = (0.0, 0.0, 0.0),
+                 options: HydroOptions | None = None, bc: str = "outflow",
+                 self_gravity: bool = False):
+        if bc not in _BCS:
+            raise ValueError(f"unknown boundary condition {bc!r}")
+        self.shape = (n, n, n) if isinstance(n, int) else tuple(n)
+        self.n = self.shape[0]
+        self.domain = float(domain)
+        self.origin = tuple(float(c) for c in origin)
+        self.dx = self.domain / self.shape[0]
+        self.options = options or HydroOptions(eos=IdealGas())
+        self.bc = bc
+        self.self_gravity = self_gravity
+        if self_gravity and len(set(self.shape)) != 1:
+            raise ValueError("self-gravity requires a cubic mesh")
+        dims = tuple(s + 2 * NGHOST for s in self.shape)
+        self.U = np.zeros((NF,) + dims)
+        self.time = 0.0
+        self.steps = 0
+        self.phi: np.ndarray | None = None
+        self._solver: FmmSolver | None = None
+
+    # -- geometry / views --------------------------------------------------------
+
+    @property
+    def interior(self) -> np.ndarray:
+        g = NGHOST
+        return self.U[:, g:g + self.shape[0], g:g + self.shape[1],
+                      g:g + self.shape[2]]
+
+    def cell_centers(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        ax = [self.origin[d] + (np.arange(self.shape[d]) + 0.5) * self.dx
+              for d in range(3)]
+        return (ax[0][:, None, None], ax[1][None, :, None],
+                ax[2][None, None, :])
+
+    # -- state setup --------------------------------------------------------------
+
+    def load_primitives(self, rho, vx, vy, vz, p) -> None:
+        """Initialize conserved state from primitive fields (broadcastable)."""
+        eos = self.options.eos
+        I = self.interior
+        shape = I.shape[1:]
+        rho = np.broadcast_to(np.asarray(rho, float), shape)
+        I[RHO] = rho
+        for d, v in enumerate((vx, vy, vz)):
+            I[SX + d] = rho * np.broadcast_to(np.asarray(v, float), shape)
+        p = np.broadcast_to(np.asarray(p, float), shape)
+        eint = p / (eos.gamma - 1.0)
+        kin = 0.5 * (I[SX] ** 2 + I[SX + 1] ** 2 + I[SX + 2] ** 2) \
+            / np.maximum(rho, self.options.rho_floor)
+        I[EGAS] = eint + kin
+        I[TAU] = eos.tau_from_eint(eint)
+
+    # -- gravity -------------------------------------------------------------------
+
+    def solve_gravity(self) -> np.ndarray:
+        """FMM solve; returns acceleration (3, n, n, n), stores phi."""
+        if self._solver is None:
+            self._solver = FmmSolver.from_uniform(
+                np.ascontiguousarray(self.interior[RHO]), self.dx,
+                subgrid_n=SUBGRID_N)
+        depth = self._solver._uniform_shape[0]
+        self._solver.set_leaf_density(
+            {depth: np.ascontiguousarray(self.interior[RHO])})
+        result = self._solver.solve()
+        phi, acc = self._solver.uniform_field(result)
+        self.phi = phi
+        return np.moveaxis(acc, -1, 0)
+
+    # -- stepping ----------------------------------------------------------------------
+
+    def fill_ghosts(self, U: np.ndarray | None = None) -> None:
+        apply_boundary(self.U if U is None else U, self.bc)
+
+    def compute_dt(self) -> float:
+        self.fill_ghosts()
+        return cfl_dt(self.U, self.dx, self.options)
+
+    def step(self, dt: float | None = None) -> float:
+        """One SSP-RK2 step; returns the dt used."""
+        if dt is None:
+            dt = self.compute_dt()
+        g = NGHOST
+        inner = (slice(None),) + tuple(
+            slice(g, g + self.shape[d]) for d in range(3))
+        gravity = self.solve_gravity() if self.self_gravity else None
+        self.fill_ghosts()
+        k1 = compute_rhs(self.U, self.dx, self.options, self.origin, gravity)
+        U1 = self.U.copy()
+        U1[inner] += dt * k1
+        self._floors(U1[inner])
+        apply_boundary(U1, self.bc)
+        if self.self_gravity:
+            depth = self._solver._uniform_shape[0]
+            self._solver.set_leaf_density(
+                {depth: np.ascontiguousarray(U1[inner][RHO])})
+            phi1, acc1 = self._solver.uniform_field(self._solver.solve())
+            gravity = np.moveaxis(acc1, -1, 0)
+        k2 = compute_rhs(U1, self.dx, self.options, self.origin, gravity)
+        self.U[inner] += 0.5 * dt * (k1 + k2)
+        self._floors(self.interior)
+        self._sync_tau()
+        self.time += dt
+        self.steps += 1
+        default_registry().increment("/hydro/steps")
+        return dt
+
+    def _floors(self, I: np.ndarray) -> None:
+        np.maximum(I[RHO], self.options.rho_floor, out=I[RHO])
+        np.maximum(I[TAU], 0.0, out=I[TAU])
+
+    def _sync_tau(self) -> None:
+        I = self.interior
+        eos = self.options.eos
+        I[TAU] = eos.sync_tau(I[RHO], I[SX], I[SX + 1], I[SX + 2],
+                              I[EGAS], I[TAU])
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def conserved_totals(self) -> dict[str, float | np.ndarray]:
+        """Mass, momentum, gas energy, total angular momentum (+spin)."""
+        I = self.interior
+        v = self.dx ** 3
+        x, y, z = self.cell_centers()
+        mom = np.array([I[SX].sum(), I[SX + 1].sum(), I[SX + 2].sum()]) * v
+        lz = ((x * I[SX + 1] - y * I[SX]).sum() + I[LX + 2].sum()) * v
+        lx = ((y * I[SX + 2] - z * I[SX + 1]).sum() + I[LX].sum()) * v
+        ly = ((z * I[SX] - x * I[SX + 2]).sum() + I[LX + 1].sum()) * v
+        out = {
+            "mass": float(I[RHO].sum()) * v,
+            "momentum": mom,
+            "egas": float(I[EGAS].sum()) * v,
+            "angular_momentum": np.array([lx, ly, lz]),
+        }
+        if self.phi is not None:
+            out["etot"] = out["egas"] + 0.5 * float(
+                (self.interior[RHO] * self.phi).sum()) * v
+        return out
+
+
+class DistributedMesh:
+    """The same physics tiled into 8^3 sub-grids with channel halos.
+
+    Each sub-grid is an HPX-component-like unit: per step and per stage
+    it publishes its halo layers into per-neighbour channels and consumes
+    its neighbours' futures, and its RHS evaluation runs as a task on a
+    work-stealing scheduler when one is supplied — the paper's futurized
+    execution (Sec. 4.1).  Physics is identical to :class:`Mesh`.
+    """
+
+    def __init__(self, blocks_per_edge: int, domain: float = 1.0,
+                 origin: tuple[float, float, float] = (0.0, 0.0, 0.0),
+                 options: HydroOptions | None = None, bc: str = "outflow",
+                 scheduler=None):
+        from ..runtime.channel import Channel
+        self.bpe = blocks_per_edge
+        self.nsub = SUBGRID_N
+        self.n = blocks_per_edge * SUBGRID_N
+        self.domain = float(domain)
+        self.origin = tuple(float(c) for c in origin)
+        self.dx = self.domain / self.n
+        self.options = options or HydroOptions(eos=IdealGas())
+        self.bc = bc
+        self.scheduler = scheduler
+        m = self.nsub + 2 * NGHOST
+        self.blocks: dict[tuple[int, int, int], np.ndarray] = {}
+        for ip in np.ndindex(self.bpe, self.bpe, self.bpe):
+            self.blocks[ip] = np.zeros((NF, m, m, m))
+        self.channels: dict = {}
+        self._Channel = Channel
+        self.time = 0.0
+        self.steps = 0
+
+    # -- state interchange with a flat array ------------------------------------
+
+    def load_interior(self, full: np.ndarray) -> None:
+        """Scatter a (NF, n, n, n) interior into the sub-grid blocks."""
+        g = NGHOST
+        s = self.nsub
+        for ip, blk in self.blocks.items():
+            i, j, k = ip
+            blk[:, g:g + s, g:g + s, g:g + s] = \
+                full[:, i * s:(i + 1) * s, j * s:(j + 1) * s,
+                     k * s:(k + 1) * s]
+
+    def gather_interior(self) -> np.ndarray:
+        g = NGHOST
+        s = self.nsub
+        full = np.zeros((NF, self.n, self.n, self.n))
+        for ip, blk in self.blocks.items():
+            i, j, k = ip
+            full[:, i * s:(i + 1) * s, j * s:(j + 1) * s,
+                 k * s:(k + 1) * s] = blk[:, g:g + s, g:g + s, g:g + s]
+        return full
+
+    # -- halo exchange through channels ---------------------------------------------
+
+    def _halo_exchange(self, generation: int) -> None:
+        """Publish and consume all halos for one stage via channels.
+
+        Receives are posted first (futures), sends second, then futures
+        are drained — the paper's "the receiving end may fetch futures ...
+        the sending end may push data into [the channel] as it is
+        generated" (Sec. 5.2).
+        """
+        g = NGHOST
+        s = self.nsub
+        offsets = [np.array(o) for o in np.ndindex(3, 3, 3)
+                   if o != (1, 1, 1)]
+        offsets = [o - 1 for o in offsets]
+        pending = []
+        for ip, blk in self.blocks.items():
+            for off in offsets:
+                nb = tuple(np.array(ip) + off)
+                if nb in self.blocks:
+                    key = (nb, tuple(-off))
+                    ch = self.channels.setdefault(
+                        key, self._Channel(name=str(key)))
+                    fut = ch.get(generation)
+                    pending.append((ip, tuple(off), fut))
+        for ip, blk in self.blocks.items():
+            for off in offsets:
+                nb = tuple(np.array(ip) + off)
+                if nb in self.blocks:
+                    key = (ip, tuple(off))
+                    ch = self.channels.setdefault(
+                        key, self._Channel(name=str(key)))
+                    ch.set(self._extract_halo(blk, off), generation)
+        for ip, off, fut in pending:
+            self._insert_halo(self.blocks[ip], off, fut.get())
+        for ip, blk in self.blocks.items():
+            self._physical_boundary(ip, blk)
+
+    def _extract_halo(self, blk: np.ndarray, off: tuple[int, int, int]
+                      ) -> np.ndarray:
+        """Interior layer a neighbour at ``off`` needs (from the sender)."""
+        g = NGHOST
+        s = self.nsub
+        sl = [slice(None)]
+        for d in range(3):
+            if off[d] == -1:
+                sl.append(slice(g, 2 * g))
+            elif off[d] == 1:
+                sl.append(slice(g + s - g, g + s))
+            else:
+                sl.append(slice(g, g + s))
+        return blk[tuple(sl)].copy()
+
+    def _insert_halo(self, blk: np.ndarray, off: tuple[int, int, int],
+                     data: np.ndarray) -> None:
+        """Write a received halo from the neighbour at ``off``."""
+        g = NGHOST
+        s = self.nsub
+        sl = [slice(None)]
+        for d in range(3):
+            if off[d] == 1:
+                sl.append(slice(g + s, g + s + g))
+            elif off[d] == -1:
+                sl.append(slice(0, g))
+            else:
+                sl.append(slice(g, g + s))
+        blk[tuple(sl)] = data
+
+    def _physical_boundary(self, ip, blk) -> None:
+        """Apply the domain BC on faces without neighbours."""
+        g = NGHOST
+        s = self.nsub
+        for axis in range(3):
+            for side in (-1, 1):
+                nb = list(ip)
+                nb[axis] += side
+                if 0 <= nb[axis] < self.bpe:
+                    continue
+                # fill by copying the edge interior layer (outflow) or
+                # mirroring (reflect); periodic wraps to the far block
+                if self.bc == "periodic":
+                    src_ip = list(ip)
+                    src_ip[axis] = (ip[axis] + side) % self.bpe
+                    src = self.blocks[tuple(src_ip)]
+                    off = [0, 0, 0]
+                    off[axis] = side
+                    self._insert_halo(blk, tuple(off),
+                                      self._extract_halo(src, tuple(off)))
+                    continue
+                sl = [slice(None)] * 4
+                if side == -1:
+                    for k in range(g):
+                        dst = sl.copy()
+                        dst[1 + axis] = slice(g - 1 - k, g - k)
+                        srcs = sl.copy()
+                        srci = g if self.bc == "outflow" else g + k
+                        srcs[1 + axis] = slice(srci, srci + 1)
+                        blk[tuple(dst)] = blk[tuple(srcs)]
+                    if self.bc == "reflect":
+                        m = sl.copy()
+                        m[0] = SX + axis
+                        m[1 + axis] = slice(0, g)
+                        blk[tuple(m)] *= -1.0
+                else:
+                    for k in range(g):
+                        dst = sl.copy()
+                        dst[1 + axis] = slice(g + s + k, g + s + k + 1)
+                        srcs = sl.copy()
+                        srci = g + s - 1 if self.bc == "outflow" \
+                            else g + s - 1 - k
+                        srcs[1 + axis] = slice(srci, srci + 1)
+                        blk[tuple(dst)] = blk[tuple(srcs)]
+                    if self.bc == "reflect":
+                        m = sl.copy()
+                        m[0] = SX + axis
+                        m[1 + axis] = slice(g + s, g + s + g)
+                        blk[tuple(m)] *= -1.0
+
+    # -- stepping ------------------------------------------------------------------
+
+    def _block_origin(self, ip) -> tuple[float, float, float]:
+        s = self.nsub
+        return tuple(self.origin[d] + ip[d] * s * self.dx for d in range(3))
+
+    def step(self, dt: float) -> None:
+        """One SSP-RK2 step across all sub-grids (futurized when a
+        scheduler is present)."""
+        g = NGHOST
+        s = self.nsub
+        inner = (slice(None),) + (slice(g, g + s),) * 3
+        gen = 2 * self.steps
+        self._halo_exchange(gen)
+        k1 = self._rhs_all(self.blocks)
+        stage = {ip: blk.copy() for ip, blk in self.blocks.items()}
+        for ip in stage:
+            stage[ip][inner] += dt * k1[ip]
+            np.maximum(stage[ip][RHO], self.options.rho_floor,
+                       out=stage[ip][RHO])
+            np.maximum(stage[ip][TAU], 0.0, out=stage[ip][TAU])
+        saved, self.blocks = self.blocks, stage
+        self._halo_exchange(gen + 1)
+        k2 = self._rhs_all(self.blocks)
+        self.blocks = saved
+        for ip, blk in self.blocks.items():
+            blk[inner] += 0.5 * dt * (k1[ip] + k2[ip])
+            np.maximum(blk[RHO], self.options.rho_floor, out=blk[RHO])
+            np.maximum(blk[TAU], 0.0, out=blk[TAU])
+            I = blk[inner]
+            eos = self.options.eos
+            I[TAU] = eos.sync_tau(I[RHO], I[SX], I[SX + 1], I[SX + 2],
+                                  I[EGAS], I[TAU])
+        self.time += dt
+        self.steps += 1
+
+    def _rhs_all(self, blocks) -> dict:
+        out = {}
+        if self.scheduler is None:
+            for ip, blk in blocks.items():
+                out[ip] = compute_rhs(blk, self.dx, self.options,
+                                      self._block_origin(ip))
+            return out
+        futures = {
+            ip: self.scheduler.submit(
+                compute_rhs, blk, self.dx, self.options,
+                self._block_origin(ip))
+            for ip, blk in blocks.items()
+        }
+        return {ip: fut.get() for ip, fut in futures.items()}

@@ -1,0 +1,7 @@
+"""Initial-model solvers: Lane-Emden polytropes and the Hachisu SCF."""
+
+from .lane_emden import LaneEmdenSolution, solve_lane_emden, Polytrope
+from .scf import ScfResult, scf_single_star, scf_binary
+
+__all__ = ["LaneEmdenSolution", "solve_lane_emden", "Polytrope",
+           "ScfResult", "scf_single_star", "scf_binary"]

@@ -1,0 +1,101 @@
+"""Lane-Emden polytropes: the single-star equilibria of the test suite.
+
+A polytrope p = K rho^(1 + 1/n) in hydrostatic equilibrium satisfies the
+Lane-Emden equation for theta(xi) with rho = rho_c theta^n.  n = 3/2
+(gamma = 5/3) models the fully convective stars of the V1309 system; the
+third/fourth verification tests of Sec. 4.2 place such a star on the grid
+at rest / in uniform motion and require the structure to persist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+__all__ = ["LaneEmdenSolution", "solve_lane_emden", "Polytrope"]
+
+
+@dataclass(frozen=True)
+class LaneEmdenSolution:
+    """theta(xi) profile up to the first zero xi_1."""
+
+    n: float
+    xi: np.ndarray
+    theta: np.ndarray
+    dtheta: np.ndarray
+    xi1: float
+    dtheta_xi1: float
+
+    def theta_at(self, xi: np.ndarray) -> np.ndarray:
+        """theta interpolated (zero outside the surface)."""
+        out = np.interp(np.asarray(xi, float), self.xi, self.theta,
+                        right=0.0)
+        return np.clip(out, 0.0, None)
+
+
+def solve_lane_emden(n: float = 1.5, xi_max: float = 20.0,
+                     rtol: float = 1e-10) -> LaneEmdenSolution:
+    """Integrate the Lane-Emden equation to the surface theta = 0."""
+    if n < 0:
+        raise ValueError("polytropic index must be non-negative")
+
+    def rhs(xi, y):
+        theta, dtheta = y
+        th = max(theta, 0.0)
+        return [dtheta, -th ** n - 2.0 * dtheta / xi]
+
+    def surface(xi, y):
+        return y[0]
+    surface.terminal = True
+    surface.direction = -1
+
+    # series start away from the singular origin
+    eps = 1e-6
+    y0 = [1.0 - eps ** 2 / 6.0, -eps / 3.0]
+    sol = solve_ivp(rhs, (eps, xi_max), y0, events=surface,
+                    rtol=rtol, atol=1e-12, dense_output=True, max_step=0.01)
+    if not sol.t_events[0].size:
+        raise RuntimeError(f"no Lane-Emden surface found below xi={xi_max}")
+    xi1 = float(sol.t_events[0][0])
+    xi = np.linspace(eps, xi1, 2000)
+    y = sol.sol(xi)
+    dth1 = float(sol.sol(xi1)[1])
+    return LaneEmdenSolution(n=n, xi=xi, theta=np.clip(y[0], 0.0, None),
+                             dtheta=y[1], xi1=xi1, dtheta_xi1=dth1)
+
+
+@dataclass(frozen=True)
+class Polytrope:
+    """A physical polytropic star: radius R, mass M, index n (G = 1)."""
+
+    n: float
+    radius: float
+    mass: float
+
+    def profile(self, r: np.ndarray,
+                le: LaneEmdenSolution | None = None
+                ) -> tuple[np.ndarray, np.ndarray]:
+        """(rho, p) at radii ``r``.
+
+        Central density and K follow from (M, R, n) via the Lane-Emden
+        scalings: M = -4 pi a^3 rho_c xi1^2 theta'(xi1), R = a xi1.
+        """
+        le = le or solve_lane_emden(self.n)
+        a = self.radius / le.xi1
+        rho_c = self.mass / (-4.0 * np.pi * a ** 3 * le.xi1 ** 2
+                             * le.dtheta_xi1)
+        # 4 pi G a^2 = (n+1) K rho_c^(1/n - 1)  =>  K
+        K = 4.0 * np.pi * a ** 2 * rho_c ** (1.0 - 1.0 / self.n) \
+            / (self.n + 1.0)
+        theta = le.theta_at(np.asarray(r, float) / a)
+        rho = rho_c * theta ** self.n
+        p = K * rho ** (1.0 + 1.0 / self.n)
+        return rho, p
+
+    def central_density(self, le: LaneEmdenSolution | None = None) -> float:
+        le = le or solve_lane_emden(self.n)
+        a = self.radius / le.xi1
+        return self.mass / (-4.0 * np.pi * a ** 3 * le.xi1 ** 2
+                            * le.dtheta_xi1)

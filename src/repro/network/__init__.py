@@ -1,0 +1,7 @@
+"""Parcelport cost models and topology for the scaling study (DESIGN.md §2)."""
+
+from .parcelport import MessageCost, Parcelport, PARCELPORTS, EAGER_BYTES
+from .topology import DragonflyTopology
+
+__all__ = ["MessageCost", "Parcelport", "PARCELPORTS", "EAGER_BYTES",
+           "DragonflyTopology"]

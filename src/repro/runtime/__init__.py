@@ -1,0 +1,30 @@
+"""HPX-semantics asynchronous many-task runtime (pure-Python model).
+
+Substitutes for the HPX C++ runtime of the paper (see DESIGN.md §2):
+futures + continuations, a work-stealing scheduler, AGAS, active-message
+parcels, channels, a simulated CUDA co-processor, and APEX-style counters.
+"""
+
+from .future import (Future, Promise, FutureError, make_ready_future,
+                     make_exceptional_future, when_all, when_any, dataflow,
+                     async_execute)
+from .scheduler import WorkStealingScheduler, TaskStats
+from .agas import AgasRuntime, Component, Gid, AgasError
+from .parcel import Parcel, ParcelHandler, EAGER_THRESHOLD, serialized_size
+from .channel import Channel, ChannelClosed
+from .cuda import (CudaDevice, CudaStream, StreamPool, LaunchPolicy,
+                   DEFAULT_STREAMS_PER_GPU)
+from .counters import CounterRegistry, default_registry, counter, gauge, timer
+
+__all__ = [
+    "Future", "Promise", "FutureError", "make_ready_future",
+    "make_exceptional_future", "when_all", "when_any", "dataflow",
+    "async_execute",
+    "WorkStealingScheduler", "TaskStats",
+    "AgasRuntime", "Component", "Gid", "AgasError",
+    "Parcel", "ParcelHandler", "EAGER_THRESHOLD", "serialized_size",
+    "Channel", "ChannelClosed",
+    "CudaDevice", "CudaStream", "StreamPool", "LaunchPolicy",
+    "DEFAULT_STREAMS_PER_GPU",
+    "CounterRegistry", "default_registry", "counter", "gauge", "timer",
+]

@@ -1,0 +1,168 @@
+"""Active Global Address Space (AGAS).
+
+HPX names every distributed object with a *global identifier* (GID) that
+stays valid when the object migrates between localities; the runtime
+resolves GIDs to their current home transparently (Sec. 4.1: "load
+balancing via object migration ... a uniform API for local and remote
+execution", and Sec. 5.2: "Even when a grid cell is migrated from one node
+to another during operation, the runtime manages the updated destination
+address transparently").
+
+This module implements that registry for the in-process model: components
+register under fresh GIDs, live on a *locality* (an integer rank), can
+migrate, and remote method invocation routes through :class:`AgasRuntime`
+so callers never need to know where a component lives.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .future import Future, make_ready_future
+
+__all__ = ["Gid", "Component", "AgasRuntime", "AgasError"]
+
+
+class AgasError(RuntimeError):
+    """Raised for unknown GIDs or invalid migrations."""
+
+
+@dataclass(frozen=True, order=True)
+class Gid:
+    """A global identifier: (locality of birth, sequence number)."""
+
+    msb: int  # birth locality
+    lsb: int  # sequence number
+
+    def __repr__(self) -> str:
+        return f"gid({self.msb}:{self.lsb})"
+
+
+class Component:
+    """Base class for objects addressable through AGAS.
+
+    Subclasses expose *actions* — plain methods invoked remotely via
+    :meth:`AgasRuntime.apply` / :meth:`AgasRuntime.async_action`.
+    """
+
+    def __init__(self) -> None:
+        self.gid: Gid | None = None
+
+    def on_migrate(self, old_locality: int, new_locality: int) -> None:
+        """Hook called after the component has been moved."""
+
+
+class AgasRuntime:
+    """The AGAS resolver plus active-message dispatch.
+
+    Parameters
+    ----------
+    n_localities:
+        Number of simulated localities (compute nodes).
+    executor:
+        Optional thunk executor (e.g. ``WorkStealingScheduler.post``) used
+        to run remotely-invoked actions asynchronously.
+    """
+
+    def __init__(self, n_localities: int = 1,
+                 executor: Callable[[Callable[[], None]], None] | None = None):
+        if n_localities < 1:
+            raise ValueError("need at least one locality")
+        self.n_localities = n_localities
+        self._executor = executor
+        self._lock = threading.Lock()
+        self._seq = itertools.count()
+        self._objects: dict[Gid, Component] = {}
+        self._home: dict[Gid, int] = {}
+        self._migrations = 0
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, component: Component, locality: int = 0) -> Gid:
+        """Give ``component`` a fresh GID homed at ``locality``."""
+        self._check_locality(locality)
+        with self._lock:
+            gid = Gid(locality, next(self._seq))
+            self._objects[gid] = component
+            self._home[gid] = locality
+        component.gid = gid
+        return gid
+
+    def unregister(self, gid: Gid) -> None:
+        with self._lock:
+            if gid not in self._objects:
+                raise AgasError(f"unknown gid {gid}")
+            del self._objects[gid]
+            del self._home[gid]
+
+    # -- resolution -----------------------------------------------------------
+
+    def resolve(self, gid: Gid) -> tuple[Component, int]:
+        """Return ``(component, current locality)`` for a GID."""
+        with self._lock:
+            try:
+                return self._objects[gid], self._home[gid]
+            except KeyError:
+                raise AgasError(f"unknown gid {gid}") from None
+
+    def locality_of(self, gid: Gid) -> int:
+        return self.resolve(gid)[1]
+
+    def components_on(self, locality: int) -> list[Gid]:
+        self._check_locality(locality)
+        with self._lock:
+            return [g for g, loc in self._home.items() if loc == locality]
+
+    # -- migration --------------------------------------------------------------
+
+    def migrate(self, gid: Gid, new_locality: int) -> None:
+        """Move a component; its GID remains valid (the AGAS promise)."""
+        self._check_locality(new_locality)
+        with self._lock:
+            if gid not in self._home:
+                raise AgasError(f"unknown gid {gid}")
+            old = self._home[gid]
+            self._home[gid] = new_locality
+            comp = self._objects[gid]
+            self._migrations += 1
+        comp.on_migrate(old, new_locality)
+
+    @property
+    def migrations(self) -> int:
+        with self._lock:
+            return self._migrations
+
+    # -- action invocation --------------------------------------------------------
+
+    def async_action(self, gid: Gid, method: str, *args: Any) -> Future:
+        """Invoke ``component.method(*args)`` wherever the component lives.
+
+        This is the "semantic and syntactic equivalence of local and remote
+        operations" of Sec. 4.1 — callers see a future either way.
+        """
+        comp, _loc = self.resolve(gid)
+        fn = getattr(comp, method, None)
+        if fn is None or not callable(fn):
+            raise AgasError(f"component {gid} has no action {method!r}")
+        if self._executor is None:
+            try:
+                return make_ready_future(fn(*args))
+            except BaseException as exc:
+                from .future import make_exceptional_future
+                return make_exceptional_future(exc)
+        from .future import async_execute
+        return async_execute(fn, *args, executor=self._executor)
+
+    def apply(self, gid: Gid, method: str, *args: Any) -> None:
+        """Fire-and-forget action (HPX ``hpx::apply``)."""
+        self.async_action(gid, method, *args)
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _check_locality(self, locality: int) -> None:
+        if not 0 <= locality < self.n_localities:
+            raise AgasError(
+                f"locality {locality} out of range [0, {self.n_localities})")

@@ -1,0 +1,114 @@
+"""HPX channels.
+
+"The asynchronous send/receive abstraction in HPX has been extended with
+the concept of a channel that the receiving end may fetch futures from (for
+N timesteps ahead if desired) and the sending end may push data into as it
+is generated" (Sec. 5.2).
+
+Octo-Tiger uses one channel per neighbour direction per sub-grid for halo
+exchange; the key property is that *receives may be posted before sends*
+(the future is handed out immediately and satisfied later) and values are
+matched strictly by generation number, so a fast neighbour can run several
+timesteps ahead without overwriting anything.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Generic, TypeVar
+
+from .future import Future, Promise
+
+__all__ = ["Channel", "ChannelClosed"]
+
+T = TypeVar("T")
+
+
+class ChannelClosed(RuntimeError):
+    """Raised when interacting with a closed channel."""
+
+
+class Channel(Generic[T]):
+    """A generation-indexed single-producer mailbox of futures.
+
+    ``set(value, generation)`` fulfils the matching ``get(generation)``;
+    either side may go first.  Without explicit generations the channel
+    behaves as a FIFO pipe (auto-incrementing counters on each side).
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._lock = threading.Lock()
+        self._promises: dict[int, Promise] = {}
+        self._ready: dict[int, Any] = {}
+        self._next_get = 0
+        self._next_set = 0
+        self._closed = False
+
+    def get(self, generation: int | None = None) -> Future:
+        """Future for the value of ``generation`` (default: next in order)."""
+        with self._lock:
+            if self._closed:
+                raise ChannelClosed(f"channel {self.name!r} is closed")
+            if generation is None:
+                generation = self._next_get
+                self._next_get += 1
+            else:
+                self._next_get = max(self._next_get, generation + 1)
+            if generation in self._ready:
+                value = self._ready.pop(generation)
+                p = Promise()
+                p.set_value(value)
+                return p.get_future()
+            promise = self._promises.get(generation)
+            if promise is None:
+                promise = Promise()
+                self._promises[generation] = promise
+            return promise.get_future()
+
+    def set(self, value: T, generation: int | None = None) -> None:
+        """Publish ``value`` for ``generation`` (default: next in order)."""
+        with self._lock:
+            if self._closed:
+                raise ChannelClosed(f"channel {self.name!r} is closed")
+            if generation is None:
+                generation = self._next_set
+                self._next_set += 1
+            else:
+                self._next_set = max(self._next_set, generation + 1)
+            if generation in self._ready:
+                raise ValueError(
+                    f"generation {generation} already set on channel {self.name!r}")
+            promise = self._promises.pop(generation, None)
+            if promise is None:
+                self._ready[generation] = value
+                return
+        promise.set_value(value)
+
+    def close(self) -> None:
+        """Close the channel; pending gets receive :class:`ChannelClosed`."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pending = list(self._promises.values())
+            self._promises.clear()
+            self._ready.clear()
+        exc = ChannelClosed(f"channel {self.name!r} closed while waiting")
+        for p in pending:
+            p.set_exception(exc)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def pending_generations(self) -> list[int]:
+        """Generations with an outstanding (unmatched) get."""
+        with self._lock:
+            return sorted(self._promises)
+
+    def buffered_generations(self) -> list[int]:
+        """Generations set but not yet fetched."""
+        with self._lock:
+            return sorted(self._ready)

@@ -1,0 +1,138 @@
+"""APEX-style performance counters.
+
+"HPX provides a performance counter and adaptive tuning framework that
+allows users to access performance data, such as core utilization, task
+overheads, and network throughput; these diagnostic tools were instrumental
+in scaling Octo-Tiger to the full machine" (Sec. 4.1).
+
+Counters are named hierarchically (``/threads/count/cumulative``-style
+paths).  Three kinds exist: monotonically increasing counters, gauges
+(last-value), and timers (count + total + max).  A global default registry
+serves the common case; components may carry their own registry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["CounterRegistry", "default_registry", "counter", "gauge", "timer"]
+
+
+class _Timer:
+    __slots__ = ("count", "total", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, elapsed: float) -> None:
+        self.count += 1
+        self.total += elapsed
+        if elapsed > self.max:
+            self.max = elapsed
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class CounterRegistry:
+    """Thread-safe registry of named counters, gauges and timers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._timers: dict[str, _Timer] = {}
+
+    # -- counters -------------------------------------------------------------
+
+    def increment(self, name: str, by: float = 1.0) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + by
+
+    def value(self, name: str) -> float:
+        with self._lock:
+            if name in self._counters:
+                return self._counters[name]
+            if name in self._gauges:
+                return self._gauges[name]
+            raise KeyError(name)
+
+    # -- gauges -----------------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    # -- timers ---------------------------------------------------------------------
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self._timers.setdefault(name, _Timer()).record(elapsed)
+
+    def record_time(self, name: str, elapsed: float) -> None:
+        with self._lock:
+            self._timers.setdefault(name, _Timer()).record(elapsed)
+
+    def timer_stats(self, name: str) -> dict[str, float]:
+        with self._lock:
+            t = self._timers.get(name)
+            if t is None:
+                raise KeyError(name)
+            return {"count": t.count, "total": t.total,
+                    "mean": t.mean, "max": t.max}
+
+    # -- enumeration ---------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(set(self._counters) | set(self._gauges)
+                          | set(self._timers))
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat view: counters + gauges + timer totals (``name/total``)."""
+        with self._lock:
+            out: dict[str, float] = dict(self._counters)
+            out.update(self._gauges)
+            for name, t in self._timers.items():
+                out[f"{name}/count"] = float(t.count)
+                out[f"{name}/total"] = t.total
+            return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+
+
+_default = CounterRegistry()
+
+
+def default_registry() -> CounterRegistry:
+    return _default
+
+
+def counter(name: str, by: float = 1.0) -> None:
+    """Increment a counter in the default registry."""
+    _default.increment(name, by)
+
+
+def gauge(name: str, value: float) -> None:
+    _default.set_gauge(name, value)
+
+
+def timer(name: str):
+    """Context manager timing a block into the default registry."""
+    return _default.time(name)

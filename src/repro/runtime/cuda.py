@@ -1,0 +1,246 @@
+"""Simulated CUDA device, streams, and stream-event futures.
+
+The paper's GPU integration (Sec. 5.1) has three ingredients we reproduce:
+
+1. **Streams with futures** — "For any CUDA stream event we create an HPX
+   future that becomes ready once operations in the stream (up to the point
+   of the event/future's creation) are finished."  Here
+   :meth:`CudaStream.enqueue` returns a future per operation and
+   :meth:`CudaStream.record_event` returns a future for the stream frontier.
+
+2. **The launch policy** — "Each CPU thread manages a certain number of
+   CUDA streams.  When launching a kernel, a thread first checks whether all
+   of the CUDA streams it manages are busy.  If not, the kernel will be
+   launched on the GPU using an idle stream.  Otherwise, the kernel will be
+   executed on the CPU by the current CPU worker thread."  Implemented by
+   :class:`StreamPool.try_acquire` + :class:`LaunchPolicy`, whose
+   gpu/cpu launch counters reproduce the 97.4995 % / 99.9997 % / 99.5207 %
+   statistics of Sec. 6.1.2 (see ``repro.simulator.scaling``).
+
+3. **Asynchronous execution** — operations run on device worker threads
+   while the submitting CPU worker continues; per-stream FIFO order is
+   preserved, different streams overlap (the 128-concurrent-kernels model).
+
+No actual GPU is involved (the repro=2 substitution): a "kernel" is any
+Python callable, typically the same vectorized NumPy kernel the CPU path
+uses — mirroring the paper's trick of instantiating the identical cell-to-
+cell function template for both targets.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from typing import Any, Callable
+
+from .future import Future, Promise
+
+__all__ = ["CudaDevice", "CudaStream", "StreamPool", "LaunchPolicy",
+           "DEFAULT_STREAMS_PER_GPU"]
+
+#: "usually 128 per GPU" (Sec. 5.1)
+DEFAULT_STREAMS_PER_GPU = 128
+
+
+class CudaStream:
+    """A FIFO of asynchronous operations on a :class:`CudaDevice`."""
+
+    def __init__(self, device: "CudaDevice", index: int):
+        self.device = device
+        self.index = index
+        self._lock = threading.Lock()
+        self._queue: collections.deque = collections.deque()
+        self._in_flight = False
+        self._last_future: Future | None = None
+
+    def enqueue(self, fn: Callable[..., Any], *args: Any) -> Future:
+        """Submit ``fn(*args)`` to the device; returns its future."""
+        promise = Promise()
+        fut = promise.get_future()
+        with self._lock:
+            self._queue.append((fn, args, promise))
+            self._last_future = fut
+            should_kick = not self._in_flight
+            if should_kick:
+                self._in_flight = True
+        if should_kick:
+            self.device._dispatch(self)
+        return fut
+
+    def record_event(self) -> Future:
+        """Future ready when everything enqueued so far has completed."""
+        with self._lock:
+            last = self._last_future
+        if last is None:
+            from .future import make_ready_future
+            return make_ready_future(None)
+        return last.then(lambda _f: None)
+
+    def busy(self) -> bool:
+        with self._lock:
+            return self._in_flight or bool(self._queue)
+
+    # -- device side ---------------------------------------------------------
+
+    def _pop(self) -> tuple | None:
+        with self._lock:
+            if not self._queue:
+                self._in_flight = False
+                return None
+            return self._queue.popleft()
+
+
+class CudaDevice:
+    """A simulated GPU: a stream set serviced by device worker threads.
+
+    Parameters
+    ----------
+    n_streams:
+        Streams available (128 on the paper's P100/V100 setup).
+    n_workers:
+        Simulated concurrency of the device (number of host threads
+        standing in for streaming multiprocessors).
+    peak_gflops:
+        Nominal peak, used only for bookkeeping/flop accounting.
+    """
+
+    def __init__(self, n_streams: int = DEFAULT_STREAMS_PER_GPU,
+                 n_workers: int = 4, peak_gflops: float = 4700.0,
+                 name: str = "sim-gpu"):
+        if n_streams < 1 or n_workers < 1:
+            raise ValueError("need at least one stream and one worker")
+        self.name = name
+        self.peak_gflops = peak_gflops
+        self.streams = [CudaStream(self, i) for i in range(n_streams)]
+        self._work: collections.deque = collections.deque()
+        self._cond = threading.Condition()
+        self._shutdown = False
+        self.kernels_executed = 0
+        self._stats_lock = threading.Lock()
+        self._threads = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"{name}-sm-{i}", daemon=True)
+            for i in range(n_workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    def _dispatch(self, stream: CudaStream) -> None:
+        with self._cond:
+            if self._shutdown:
+                raise RuntimeError(f"device {self.name} is shut down")
+            self._work.append(stream)
+            self._cond.notify()
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._work and not self._shutdown:
+                    self._cond.wait()
+                if self._shutdown and not self._work:
+                    return
+                stream = self._work.popleft()
+            item = stream._pop()
+            if item is None:
+                continue
+            fn, args, promise = item
+            try:
+                promise.set_value(fn(*args))
+            except BaseException as exc:
+                promise.set_exception(exc)
+            with self._stats_lock:
+                self.kernels_executed += 1
+            # keep per-stream FIFO: only after completion may the next op run
+            with stream._lock:
+                more = bool(stream._queue)
+                if not more:
+                    stream._in_flight = False
+            if more:
+                self._dispatch(stream)
+
+    def synchronize(self) -> None:
+        """Block until every stream has drained (cudaDeviceSynchronize)."""
+        for s in self.streams:
+            s.record_event().get()
+
+    def shutdown(self) -> None:
+        with self._cond:
+            self._shutdown = True
+            self._cond.notify_all()
+        for t in self._threads:
+            t.join(timeout=5.0)
+
+    def __enter__(self) -> "CudaDevice":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
+
+
+class StreamPool:
+    """Non-blocking allocator of idle streams across one or more devices."""
+
+    def __init__(self, devices: list[CudaDevice]):
+        if not devices:
+            raise ValueError("need at least one device")
+        self.devices = devices
+        self._lock = threading.Lock()
+        self._rr = 0
+
+    def try_acquire(self) -> CudaStream | None:
+        """Return an idle stream, or ``None`` if all streams are busy.
+
+        Round-robins across devices so multi-GPU nodes (the 2×V100 rows of
+        Table 2) share load.
+        """
+        with self._lock:
+            all_streams = [s for d in self.devices for s in d.streams]
+            n = len(all_streams)
+            for k in range(n):
+                s = all_streams[(self._rr + k) % n]
+                if not s.busy():
+                    self._rr = (self._rr + k + 1) % n
+                    return s
+        return None
+
+    @property
+    def n_streams(self) -> int:
+        return sum(len(d.streams) for d in self.devices)
+
+
+class LaunchPolicy:
+    """The paper's GPU-else-CPU kernel launch rule, with statistics.
+
+    ``launch(kernel, *args)`` runs the kernel on an idle GPU stream when one
+    exists, otherwise synchronously on the calling CPU worker; either way a
+    future is returned, so callers are oblivious to the placement — the
+    property that makes the whole scheme "mostly non-invasive" (Sec. 5.1).
+    """
+
+    def __init__(self, pool: StreamPool):
+        self.pool = pool
+        self._lock = threading.Lock()
+        self.gpu_launches = 0
+        self.cpu_launches = 0
+
+    def launch(self, kernel: Callable[..., Any], *args: Any) -> Future:
+        stream = self.pool.try_acquire()
+        if stream is not None:
+            with self._lock:
+                self.gpu_launches += 1
+            return stream.enqueue(kernel, *args)
+        with self._lock:
+            self.cpu_launches += 1
+        promise = Promise()
+        try:
+            promise.set_value(kernel(*args))
+        except BaseException as exc:
+            promise.set_exception(exc)
+        return promise.get_future()
+
+    @property
+    def gpu_fraction(self) -> float:
+        """Fraction of kernels that ran on the GPU (Sec. 6.1.2 statistic)."""
+        with self._lock:
+            total = self.gpu_launches + self.cpu_launches
+            return self.gpu_launches / total if total else 0.0

@@ -1,0 +1,306 @@
+"""HPX-style futures with continuation chaining.
+
+This module reproduces the semantics of ``hpx::future`` / ``hpx::promise``
+that Octo-Tiger relies on for *futurization* (Sec. 4.1 of the paper):
+
+* a :class:`Future` represents a value that may not exist yet;
+* ``then`` attaches a continuation that is scheduled when the value becomes
+  ready (continuation-passing style — the paper's "dataflow execution
+  trees");
+* :func:`when_all` / :func:`when_any` compose futures;
+* :func:`dataflow` schedules a callable once all of its future arguments
+  are ready, passing the *unwrapped* values.
+
+Unlike ``concurrent.futures``, continuations here are scheduled through a
+pluggable executor (by default the calling thread, in tests and in the
+scheduler a work-stealing pool), which mirrors HPX's behaviour of running
+continuations as ordinary tasks rather than on a dedicated callback thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = [
+    "Future",
+    "Promise",
+    "FutureError",
+    "make_ready_future",
+    "make_exceptional_future",
+    "when_all",
+    "when_any",
+    "dataflow",
+    "async_execute",
+]
+
+
+class FutureError(RuntimeError):
+    """Raised on invalid future usage (double-set, get-before-ready, ...)."""
+
+
+_PENDING = "pending"
+_READY = "ready"
+_EXCEPTIONAL = "exceptional"
+
+
+class Future:
+    """A single-assignment container for an eventual value.
+
+    Futures are created either ready (:func:`make_ready_future`), through a
+    :class:`Promise`, or as the result of ``then``/``when_all``/``dataflow``.
+    """
+
+    __slots__ = ("_lock", "_cond", "_state", "_value", "_exception",
+                 "_callbacks", "_executor")
+
+    def __init__(self, executor: Callable[[Callable[[], None]], None] | None = None):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._state = _PENDING
+        self._value: Any = None
+        self._exception: BaseException | None = None
+        self._callbacks: list[Callable[[Future], None]] = []
+        self._executor = executor
+
+    # -- state inspection -------------------------------------------------
+
+    def is_ready(self) -> bool:
+        """True when a value or exception has been stored."""
+        with self._lock:
+            return self._state != _PENDING
+
+    def has_exception(self) -> bool:
+        with self._lock:
+            return self._state == _EXCEPTIONAL
+
+    # -- completion (used by Promise and combinators) ----------------------
+
+    def _set_value(self, value: Any) -> None:
+        with self._cond:
+            if self._state != _PENDING:
+                raise FutureError("future already satisfied")
+            self._value = value
+            self._state = _READY
+            callbacks, self._callbacks = self._callbacks, []
+            self._cond.notify_all()
+        self._run_callbacks(callbacks)
+
+    def _set_exception(self, exc: BaseException) -> None:
+        with self._cond:
+            if self._state != _PENDING:
+                raise FutureError("future already satisfied")
+            self._exception = exc
+            self._state = _EXCEPTIONAL
+            callbacks, self._callbacks = self._callbacks, []
+            self._cond.notify_all()
+        self._run_callbacks(callbacks)
+
+    def _run_callbacks(self, callbacks: Sequence[Callable[[Future], None]]) -> None:
+        for cb in callbacks:
+            self._dispatch(lambda cb=cb: cb(self))
+
+    def _dispatch(self, thunk: Callable[[], None]) -> None:
+        if self._executor is not None:
+            self._executor(thunk)
+        else:
+            thunk()
+
+    # -- retrieval ---------------------------------------------------------
+
+    def get(self, timeout: float | None = None) -> Any:
+        """Block until ready; return the value or raise the stored exception."""
+        with self._cond:
+            if self._state == _PENDING and not self._cond.wait_for(
+                    lambda: self._state != _PENDING, timeout):
+                raise FutureError("timed out waiting for future")
+            if self._state == _EXCEPTIONAL:
+                assert self._exception is not None
+                raise self._exception
+            return self._value
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until ready without consuming the value. Returns readiness."""
+        with self._cond:
+            return self._cond.wait_for(lambda: self._state != _PENDING, timeout)
+
+    # -- composition ---------------------------------------------------------
+
+    def then(self, fn: Callable[["Future"], Any],
+             executor: Callable[[Callable[[], None]], None] | None = None) -> "Future":
+        """Attach a continuation receiving *this future* once it is ready.
+
+        Returns a new future holding ``fn``'s result.  If ``fn`` returns a
+        future itself the result is unwrapped (monadic bind), matching
+        ``hpx::future::then`` + automatic unwrapping.
+        """
+        result = Future(executor=executor or self._executor)
+
+        def run(fut: "Future") -> None:
+            try:
+                out = fn(fut)
+            except BaseException as exc:  # propagate into the result future
+                result._set_exception(exc)
+                return
+            if isinstance(out, Future):
+                out.then(lambda f: _forward(f, result))
+            else:
+                result._set_value(out)
+
+        self._on_ready(run)
+        return result
+
+    def _on_ready(self, cb: Callable[["Future"], None]) -> None:
+        with self._lock:
+            if self._state == _PENDING:
+                self._callbacks.append(cb)
+                return
+        self._dispatch(lambda: cb(self))
+
+
+def _forward(src: Future, dst: Future) -> None:
+    """Copy the outcome of ``src`` into ``dst``."""
+    if src.has_exception():
+        try:
+            src.get()
+        except BaseException as exc:
+            dst._set_exception(exc)
+    else:
+        dst._set_value(src.get())
+
+
+class Promise:
+    """The producing side of a :class:`Future` (``hpx::promise``)."""
+
+    __slots__ = ("_future",)
+
+    def __init__(self, executor: Callable[[Callable[[], None]], None] | None = None):
+        self._future = Future(executor=executor)
+
+    def get_future(self) -> Future:
+        return self._future
+
+    def set_value(self, value: Any = None) -> None:
+        self._future._set_value(value)
+
+    def set_exception(self, exc: BaseException) -> None:
+        self._future._set_exception(exc)
+
+
+def make_ready_future(value: Any = None) -> Future:
+    """A future that is already satisfied with ``value``."""
+    f = Future()
+    f._set_value(value)
+    return f
+
+
+def make_exceptional_future(exc: BaseException) -> Future:
+    f = Future()
+    f._set_exception(exc)
+    return f
+
+
+def when_all(futures: Iterable[Future]) -> Future:
+    """Future of the list of input futures, ready when all inputs are.
+
+    Mirrors ``hpx::when_all``: the result holds the (now ready) futures
+    themselves so exceptional inputs do not short-circuit composition.
+    """
+    futs = list(futures)
+    result = Future()
+    if not futs:
+        result._set_value([])
+        return result
+    remaining = [len(futs)]
+    lock = threading.Lock()
+
+    def arm(f: Future) -> None:
+        def done(_: Future) -> None:
+            with lock:
+                remaining[0] -= 1
+                fire = remaining[0] == 0
+            if fire:
+                result._set_value(futs)
+        f._on_ready(done)
+
+    for f in futs:
+        arm(f)
+    return result
+
+
+def when_any(futures: Iterable[Future]) -> Future:
+    """Future of ``(index, future)`` for the first input to become ready."""
+    futs = list(futures)
+    if not futs:
+        raise ValueError("when_any requires at least one future")
+    result = Future()
+    fired = threading.Event()
+
+    def arm(i: int, f: Future) -> None:
+        def done(fut: Future) -> None:
+            if not fired.is_set():
+                fired.set()
+                try:
+                    result._set_value((i, fut))
+                except FutureError:
+                    pass  # lost a benign race with another input
+        f._on_ready(done)
+
+    for i, f in enumerate(futs):
+        arm(i, f)
+    return result
+
+
+def dataflow(fn: Callable[..., Any], *args: Any,
+             executor: Callable[[Callable[[], None]], None] | None = None) -> Future:
+    """Run ``fn`` once every future among ``args`` is ready.
+
+    Future arguments are replaced by their values; plain arguments pass
+    through.  An exceptional input propagates to the result without calling
+    ``fn`` — HPX ``dataflow`` semantics, the building block of Octo-Tiger's
+    solver coupling (Sec. 2: "HPX's futurization technique makes this
+    coupling straightforward").
+    """
+    fut_args = [a for a in args if isinstance(a, Future)]
+    result = Future(executor=executor)
+
+    def fire(_: Future) -> None:
+        try:
+            values = [a.get() if isinstance(a, Future) else a for a in args]
+            out = fn(*values)
+        except BaseException as exc:
+            result._set_exception(exc)
+            return
+        if isinstance(out, Future):
+            out.then(lambda f: _forward(f, result))
+        else:
+            result._set_value(out)
+
+    when_all(fut_args)._on_ready(fire)
+    return result
+
+
+def async_execute(fn: Callable[..., Any], *args: Any,
+                  executor: Callable[[Callable[[], None]], None] | None = None) -> Future:
+    """Schedule ``fn(*args)`` through ``executor`` and return its future.
+
+    With no executor the call runs synchronously (``hpx::launch::sync``).
+    """
+    result = Future(executor=executor)
+
+    def run() -> None:
+        try:
+            out = fn(*args)
+        except BaseException as exc:
+            result._set_exception(exc)
+            return
+        if isinstance(out, Future):
+            out.then(lambda f: _forward(f, result))
+        else:
+            result._set_value(out)
+
+    if executor is None:
+        run()
+    else:
+        executor(run)
+    return result

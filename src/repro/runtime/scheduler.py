@@ -1,0 +1,211 @@
+"""Work-stealing lightweight task scheduler.
+
+Models the HPX thread-scheduling subsystem the paper leans on (Sec. 4.1:
+"a work-stealing lightweight task scheduler that enables finer-grained
+parallelization and synchronization and automatic load balancing across all
+local compute resources").
+
+Each worker owns a deque; it pushes and pops tasks LIFO at its own end
+(cache-friendly depth-first descent of the task tree) and steals FIFO from
+the opposite end of a victim's deque (breadth-first steal of large work
+items) — the classic Blumofe–Leiserson discipline HPX implements.
+
+The scheduler doubles as a *future executor*: pass ``scheduler.post`` as the
+``executor`` argument of the :mod:`repro.runtime.future` combinators and
+continuations become ordinary stealable tasks.
+"""
+
+from __future__ import annotations
+
+import collections
+import random
+import threading
+from typing import Any, Callable
+
+from .future import Future, async_execute
+
+__all__ = ["WorkStealingScheduler", "TaskStats"]
+
+
+class TaskStats:
+    """Counters mirroring HPX/APEX scheduler diagnostics."""
+
+    __slots__ = ("executed", "stolen", "posted", "per_worker")
+
+    def __init__(self, n_workers: int):
+        self.executed = 0
+        self.stolen = 0
+        self.posted = 0
+        self.per_worker = [0] * n_workers
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "executed": self.executed,
+            "stolen": self.stolen,
+            "posted": self.posted,
+            "per_worker": list(self.per_worker),
+        }
+
+
+class _Worker(threading.Thread):
+    def __init__(self, sched: "WorkStealingScheduler", index: int):
+        super().__init__(name=f"repro-worker-{index}", daemon=True)
+        self.sched = sched
+        self.index = index
+        self.deque: collections.deque = collections.deque()
+        self.rng = random.Random(0xC0FFEE ^ index)
+
+    def run(self) -> None:
+        _TLS.worker = self
+        sched = self.sched
+        while True:
+            task = self._next_task()
+            if task is _SHUTDOWN:
+                return
+            if task is None:
+                with sched._idle_cond:
+                    sched._idle_workers += 1
+                    if sched._idle_workers == len(sched._workers) and sched._pending == 0:
+                        sched._idle_cond.notify_all()
+                    sched._idle_cond.wait(timeout=0.001)
+                    sched._idle_workers -= 1
+                continue
+            self._execute(task)
+
+    def _next_task(self) -> Any:
+        # Own deque first (LIFO), then the shared inbox, then steal (FIFO).
+        try:
+            return self.deque.pop()
+        except IndexError:
+            pass
+        try:
+            return self.sched._inbox.popleft()
+        except IndexError:
+            pass
+        return self._steal()
+
+    def _steal(self) -> Any:
+        workers = self.sched._workers
+        n = len(workers)
+        start = self.rng.randrange(n)
+        for k in range(n):
+            victim = workers[(start + k) % n]
+            if victim is self:
+                continue
+            try:
+                task = victim.deque.popleft()
+            except IndexError:
+                continue
+            with self.sched._stats_lock:
+                self.sched.stats.stolen += 1
+            return task
+        return None
+
+    def _execute(self, task: Callable[[], None]) -> None:
+        sched = self.sched
+        try:
+            task()
+        except BaseException as exc:  # tasks must not kill workers
+            sched._record_error(exc)
+        finally:
+            with sched._stats_lock:
+                sched.stats.executed += 1
+                sched.stats.per_worker[self.index] += 1
+            with sched._idle_cond:
+                sched._pending -= 1
+                if sched._pending == 0:
+                    sched._idle_cond.notify_all()
+
+
+_SHUTDOWN = object()
+_TLS = threading.local()
+
+
+class WorkStealingScheduler:
+    """A pool of work-stealing workers executing fire-and-forget tasks.
+
+    Usage::
+
+        with WorkStealingScheduler(4) as sched:
+            fut = sched.submit(expensive, arg)
+            value = fut.get()
+
+    ``post`` schedules a bare thunk (used as a future executor); ``submit``
+    wraps the callable in a :class:`Future`.
+    """
+
+    def __init__(self, n_workers: int = 4):
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self._inbox: collections.deque = collections.deque()
+        self._workers = [_Worker(self, i) for i in range(n_workers)]
+        self._stats_lock = threading.Lock()
+        self.stats = TaskStats(n_workers)
+        self._idle_cond = threading.Condition()
+        self._idle_workers = 0
+        self._pending = 0
+        self._errors: list[BaseException] = []
+        self._shutdown = False
+        for w in self._workers:
+            w.start()
+
+    # -- scheduling --------------------------------------------------------
+
+    def post(self, task: Callable[[], None]) -> None:
+        """Fire-and-forget a thunk. Current-worker tasks go on the local deque."""
+        if self._shutdown:
+            raise RuntimeError("scheduler is shut down")
+        with self._stats_lock:
+            self.stats.posted += 1
+        with self._idle_cond:
+            self._pending += 1
+            worker = getattr(_TLS, "worker", None)
+            if worker is not None and worker.sched is self:
+                worker.deque.append(task)
+            else:
+                self._inbox.append(task)
+            self._idle_cond.notify()
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> Future:
+        """Schedule ``fn(*args)``; returns a future for its result."""
+        return async_execute(fn, *args, executor=self.post)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until no task is queued or running."""
+        with self._idle_cond:
+            return self._idle_cond.wait_for(lambda: self._pending == 0, timeout)
+
+    def shutdown(self) -> None:
+        if self._shutdown:
+            return
+        self.wait_idle()
+        self._shutdown = True
+        for _ in self._workers:
+            self._inbox.append(_SHUTDOWN)
+        with self._idle_cond:
+            self._idle_cond.notify_all()
+        for w in self._workers:
+            # _SHUTDOWN sentinels are consumed via the shared inbox
+            w.join(timeout=5.0)
+
+    def _record_error(self, exc: BaseException) -> None:
+        with self._stats_lock:
+            self._errors.append(exc)
+
+    @property
+    def errors(self) -> list[BaseException]:
+        """Exceptions raised by fire-and-forget tasks (submit() errors go to futures)."""
+        with self._stats_lock:
+            return list(self._errors)
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._workers)
+
+    def __enter__(self) -> "WorkStealingScheduler":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()

@@ -1,0 +1,88 @@
+"""Catalogue of the paper's evaluation platforms (Tables 2 and 3).
+
+CPU peak accounting follows the paper: cores x base clock x flops/cycle
+with 16 flops/cycle on AVX2 (2 FMA units x 4 doubles x 2) and 32 on
+AVX512/KNL.  Spot checks against Table 2's "fraction of peak" column:
+
+* E5-2660 v3, 10 cores: 10 x 2.4 x 16 = 384 GF -> 125 GF/s is 32.6%
+  (the paper rounds to 30%);
+* E5-2690 v3, 12 cores: 12 x 2.6 x 16 = 499 GF -> 157 GF/s is 31%;
+* Xeon Phi 7210: 64 x 1.3 x 32 = 2662 GF -> 459 GF/s is 17%.
+
+GPU peaks: P100 (PCIe) 4.7 TF, V100 (PCIe) 7.0 TF double precision.
+"""
+
+from __future__ import annotations
+
+from .machine import GpuSpec, NodeSpec
+
+__all__ = [
+    "V100", "P100",
+    "XEON_E5_2660V3_10C", "XEON_E5_2660V3_20C", "XEON_PHI_7210",
+    "PIZ_DAINT_CPU", "PIZ_DAINT", "with_gpus", "TABLE2_CONFIGS",
+]
+
+V100 = GpuSpec(name="NVIDIA V100 (PCI-E)", peak_gflops=7000.0,
+               kernel_efficiency=0.37, launch_overhead=11e-6)
+P100 = GpuSpec(name="NVIDIA P100 (PCI-E)", peak_gflops=4700.0,
+               kernel_efficiency=0.26, launch_overhead=13e-6)
+
+XEON_E5_2660V3_10C = NodeSpec(
+    name="Intel Xeon E5-2660 v3, 2.4 GHz, 10 cores",
+    cores=10, clock_ghz=2.4, flops_per_cycle=16,
+    cpu_kernel_efficiency=0.326, cpu_other_efficiency=0.055)
+
+XEON_E5_2660V3_20C = NodeSpec(
+    name="Intel Xeon E5-2660 v3, 2.4 GHz, 20 cores",
+    cores=20, clock_ghz=2.4, flops_per_cycle=16,
+    cpu_kernel_efficiency=0.326, cpu_other_efficiency=0.055)
+
+XEON_PHI_7210 = NodeSpec(
+    name="Intel Xeon Phi 7210, 1.3 GHz, 64 cores",
+    cores=64, clock_ghz=1.3, flops_per_cycle=32,
+    cpu_kernel_efficiency=0.172,
+    # "the other less optimized parts ... make fewer use of the SIMD
+    # capabilities that the Xeon Phi offers" (Sec. 6.1.2)
+    cpu_other_efficiency=0.016)
+
+PIZ_DAINT_CPU = NodeSpec(
+    name="Intel Xeon E5-2690 v3, 2.6 GHz, 12 cores",
+    cores=12, clock_ghz=2.6, flops_per_cycle=16,
+    cpu_kernel_efficiency=0.315, cpu_other_efficiency=0.055)
+
+#: One Piz Daint XC50 node (Table 3): 12-core Haswell + one P100, 64 GB
+PIZ_DAINT = NodeSpec(
+    name="Piz Daint node (Xeon E5-2690 v3 + P100)",
+    cores=PIZ_DAINT_CPU.cores, clock_ghz=PIZ_DAINT_CPU.clock_ghz,
+    flops_per_cycle=16,
+    cpu_kernel_efficiency=PIZ_DAINT_CPU.cpu_kernel_efficiency,
+    cpu_other_efficiency=PIZ_DAINT_CPU.cpu_other_efficiency,
+    gpus=(P100,), ram_gb=64.0)
+
+#: full system size used in Sec. 6.2
+PIZ_DAINT_TOTAL_NODES = 5400
+
+
+def with_gpus(cpu: NodeSpec, *gpus: GpuSpec) -> NodeSpec:
+    """Attach GPUs to a CPU spec (builds the Table 2 GPU rows)."""
+    return NodeSpec(
+        name=f"{cpu.name} + {len(gpus)}x {gpus[0].name}" if gpus else cpu.name,
+        cores=cpu.cores, clock_ghz=cpu.clock_ghz,
+        flops_per_cycle=cpu.flops_per_cycle,
+        cpu_kernel_efficiency=cpu.cpu_kernel_efficiency,
+        cpu_other_efficiency=cpu.cpu_other_efficiency,
+        gpus=tuple(gpus), ram_gb=cpu.ram_gb)
+
+
+#: the nine rows of Table 2, in paper order
+TABLE2_CONFIGS: list[tuple[str, NodeSpec]] = [
+    ("E5-2660v3 10c, CPU-only", XEON_E5_2660V3_10C),
+    ("E5-2660v3 10c + 1x V100", with_gpus(XEON_E5_2660V3_10C, V100)),
+    ("E5-2660v3 10c + 2x V100", with_gpus(XEON_E5_2660V3_10C, V100, V100)),
+    ("E5-2660v3 20c, CPU-only", XEON_E5_2660V3_20C),
+    ("E5-2660v3 20c + 1x V100", with_gpus(XEON_E5_2660V3_20C, V100)),
+    ("E5-2660v3 20c + 2x V100", with_gpus(XEON_E5_2660V3_20C, V100, V100)),
+    ("Xeon Phi 7210 64c", XEON_PHI_7210),
+    ("Piz Daint node, CPU-only", PIZ_DAINT_CPU),
+    ("Piz Daint node + 1x P100", PIZ_DAINT),
+]

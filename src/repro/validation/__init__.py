@@ -1,0 +1,7 @@
+"""Analytic reference solutions for the Sec. 4.2 verification suite."""
+
+from .sod import RiemannState, SodSolution, solve_riemann, sod_solution
+from .sedov import sedov_alpha, shock_radius, shock_speed, post_shock_state
+
+__all__ = ["RiemannState", "SodSolution", "solve_riemann", "sod_solution",
+           "sedov_alpha", "shock_radius", "shock_speed", "post_shock_state"]

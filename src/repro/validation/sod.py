@@ -1,0 +1,154 @@
+"""Exact solution of the Sod shock tube (verification test 1 of Sec. 4.2).
+
+Standard exact Riemann solver for the ideal-gas Euler equations (Toro,
+ch. 4): Newton iteration for the star-region pressure, then sampling of
+the similarity solution x/t.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RiemannState", "SodSolution", "solve_riemann", "sod_solution"]
+
+
+@dataclass(frozen=True)
+class RiemannState:
+    rho: float
+    u: float
+    p: float
+
+
+@dataclass(frozen=True)
+class SodSolution:
+    """Sampled exact solution arrays at time t."""
+
+    x: np.ndarray
+    rho: np.ndarray
+    u: np.ndarray
+    p: np.ndarray
+
+
+def _pressure_function(p: float, state: RiemannState, gamma: float
+                       ) -> tuple[float, float]:
+    """f(p, state) and its derivative for the star-pressure iteration."""
+    rho, pk = state.rho, state.p
+    a = np.sqrt(gamma * pk / rho)
+    if p > pk:      # shock
+        A = 2.0 / ((gamma + 1.0) * rho)
+        B = (gamma - 1.0) / (gamma + 1.0) * pk
+        f = (p - pk) * np.sqrt(A / (p + B))
+        df = np.sqrt(A / (B + p)) * (1.0 - (p - pk) / (2.0 * (B + p)))
+    else:           # rarefaction
+        f = 2.0 * a / (gamma - 1.0) * ((p / pk) ** ((gamma - 1.0)
+                                                    / (2.0 * gamma)) - 1.0)
+        df = 1.0 / (rho * a) * (p / pk) ** (-(gamma + 1.0) / (2.0 * gamma))
+    return f, df
+
+
+def solve_riemann(left: RiemannState, right: RiemannState,
+                  gamma: float = 1.4, tol: float = 1e-12,
+                  max_iter: int = 100) -> tuple[float, float]:
+    """Star-region pressure and velocity for a Riemann problem."""
+    p = max(0.5 * (left.p + right.p), tol)
+    du = right.u - left.u
+    for _ in range(max_iter):
+        fl, dfl = _pressure_function(p, left, gamma)
+        fr, dfr = _pressure_function(p, right, gamma)
+        step = (fl + fr + du) / (dfl + dfr)
+        p_new = max(p - step, tol)
+        if abs(p_new - p) < tol * (1.0 + p):
+            p = p_new
+            break
+        p = p_new
+    fl, _ = _pressure_function(p, left, gamma)
+    fr, _ = _pressure_function(p, right, gamma)
+    u = 0.5 * (left.u + right.u) + 0.5 * (fr - fl)
+    return p, u
+
+
+def _sample(xi: np.ndarray, left: RiemannState, right: RiemannState,
+            p_star: float, u_star: float, gamma: float
+            ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample the solution at similarity coordinates xi = x/t."""
+    rho = np.empty_like(xi)
+    u = np.empty_like(xi)
+    p = np.empty_like(xi)
+    g = gamma
+    gm1, gp1 = g - 1.0, g + 1.0
+    aL = np.sqrt(g * left.p / left.rho)
+    aR = np.sqrt(g * right.p / right.rho)
+
+    for i, s in enumerate(xi):
+        if s <= u_star:     # left of contact
+            st = left
+            if p_star > st.p:   # left shock
+                rho_s = st.rho * ((p_star / st.p + gm1 / gp1)
+                                  / (gm1 / gp1 * p_star / st.p + 1.0))
+                S = st.u - aL * np.sqrt(gp1 / (2 * g) * p_star / st.p
+                                        + gm1 / (2 * g))
+                if s < S:
+                    rho[i], u[i], p[i] = st.rho, st.u, st.p
+                else:
+                    rho[i], u[i], p[i] = rho_s, u_star, p_star
+            else:               # left rarefaction
+                a_star = aL * (p_star / st.p) ** (gm1 / (2 * g))
+                head = st.u - aL
+                tail = u_star - a_star
+                if s < head:
+                    rho[i], u[i], p[i] = st.rho, st.u, st.p
+                elif s > tail:
+                    rho[i] = st.rho * (p_star / st.p) ** (1 / g)
+                    u[i], p[i] = u_star, p_star
+                else:
+                    u[i] = 2 / gp1 * (aL + gm1 / 2 * st.u + s)
+                    a = 2 / gp1 * (aL + gm1 / 2 * (st.u - s))
+                    rho[i] = st.rho * (a / aL) ** (2 / gm1)
+                    p[i] = st.p * (a / aL) ** (2 * g / gm1)
+        else:               # right of contact
+            st = right
+            if p_star > st.p:   # right shock
+                rho_s = st.rho * ((p_star / st.p + gm1 / gp1)
+                                  / (gm1 / gp1 * p_star / st.p + 1.0))
+                S = st.u + aR * np.sqrt(gp1 / (2 * g) * p_star / st.p
+                                        + gm1 / (2 * g))
+                if s > S:
+                    rho[i], u[i], p[i] = st.rho, st.u, st.p
+                else:
+                    rho[i], u[i], p[i] = rho_s, u_star, p_star
+            else:               # right rarefaction
+                a_star = aR * (p_star / st.p) ** (gm1 / (2 * g))
+                head = st.u + aR
+                tail = u_star + a_star
+                if s > head:
+                    rho[i], u[i], p[i] = st.rho, st.u, st.p
+                elif s < tail:
+                    rho[i] = st.rho * (p_star / st.p) ** (1 / g)
+                    u[i], p[i] = u_star, p_star
+                else:
+                    u[i] = 2 / gp1 * (-aR + gm1 / 2 * st.u + s)
+                    a = 2 / gp1 * (aR - gm1 / 2 * (st.u - s))
+                    rho[i] = st.rho * (a / aR) ** (2 / gm1)
+                    p[i] = st.p * (a / aR) ** (2 * g / gm1)
+    return rho, u, p
+
+
+def sod_solution(x: np.ndarray, t: float, x0: float = 0.5,
+                 left: RiemannState | None = None,
+                 right: RiemannState | None = None,
+                 gamma: float = 1.4) -> SodSolution:
+    """Exact Sod-tube profiles at positions ``x`` and time ``t``."""
+    left = left or RiemannState(1.0, 0.0, 1.0)
+    right = right or RiemannState(0.125, 0.0, 0.1)
+    x = np.asarray(x, dtype=np.float64)
+    if t <= 0:
+        rho = np.where(x < x0, left.rho, right.rho)
+        u = np.where(x < x0, left.u, right.u)
+        p = np.where(x < x0, left.p, right.p)
+        return SodSolution(x, rho, u, p)
+    p_star, u_star = solve_riemann(left, right, gamma)
+    xi = (x - x0) / t
+    rho, u, p = _sample(xi, left, right, p_star, u_star, gamma)
+    return SodSolution(x, rho, u, p)

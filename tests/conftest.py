@@ -1,0 +1,9 @@
+"""Shared fixtures for the repro test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0xBEEF)

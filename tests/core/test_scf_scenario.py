@@ -1,0 +1,113 @@
+"""Lane-Emden / SCF initial models and scenario builders."""
+
+import numpy as np
+import pytest
+
+from repro.core import (EGAS, PASSIVE0, RHO, SX, IdealGas, Polytrope,
+                        scf_single_star, sedov_blast, sod_tube,
+                        solve_lane_emden)
+
+
+class TestLaneEmden:
+    def test_n0_analytic(self):
+        """n = 0: theta = 1 - xi^2/6, surface at sqrt(6)."""
+        le = solve_lane_emden(0.0)
+        assert le.xi1 == pytest.approx(np.sqrt(6.0), rel=1e-6)
+
+    def test_n1_analytic(self):
+        """n = 1: theta = sin(xi)/xi, surface at pi."""
+        le = solve_lane_emden(1.0)
+        assert le.xi1 == pytest.approx(np.pi, rel=1e-6)
+
+    def test_n15_literature_values(self):
+        le = solve_lane_emden(1.5)
+        assert le.xi1 == pytest.approx(3.65375, rel=1e-4)
+        assert -le.xi1 ** 2 * le.dtheta_xi1 == pytest.approx(2.71406,
+                                                             rel=1e-4)
+
+    def test_theta_monotone_decreasing(self):
+        le = solve_lane_emden(1.5)
+        assert (np.diff(le.theta) <= 1e-12).all()
+
+    def test_theta_at_clamps_outside_surface(self):
+        le = solve_lane_emden(1.5)
+        assert le.theta_at(np.array([le.xi1 * 2])) == 0.0
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            solve_lane_emden(-1.0)
+
+
+class TestPolytrope:
+    def test_mass_integral_matches(self):
+        """Integrating the density profile recovers the requested mass."""
+        star = Polytrope(n=1.5, radius=1.0, mass=2.0)
+        r = np.linspace(1e-4, 1.0, 4000)
+        rho, _p = star.profile(r)
+        m = np.trapezoid(4 * np.pi * r ** 2 * rho, r)
+        assert m == pytest.approx(2.0, rel=1e-3)
+
+    def test_density_zero_outside(self):
+        star = Polytrope(n=1.5, radius=1.0, mass=1.0)
+        rho, p = star.profile(np.array([1.5]))
+        assert rho[0] == 0.0 and p[0] == 0.0
+
+    def test_central_density_scaling(self):
+        a = Polytrope(n=1.5, radius=1.0, mass=1.0).central_density()
+        b = Polytrope(n=1.5, radius=1.0, mass=2.0).central_density()
+        assert b == pytest.approx(2 * a, rel=1e-10)
+
+
+class TestScfSingle:
+    def test_converges_and_matches_lane_emden(self):
+        res = scf_single_star(M=16, domain=4.0, radius_eq=1.0,
+                              max_iter=30, tol=1e-5)
+        assert res.residuals[-1] < 1e-4
+        assert res.omega == pytest.approx(0.0)
+        # central density should be near the requested maximum
+        assert res.rho.max() == pytest.approx(1.0, rel=0.05)
+        # density is compactly supported well inside the box
+        edge_mass = res.rho[0].sum() + res.rho[-1].sum()
+        assert edge_mass < 1e-8
+
+    def test_rotating_model_flattens(self):
+        res = scf_single_star(M=16, domain=4.0, axis_ratio=0.85,
+                              max_iter=30, tol=1e-4)
+        assert res.omega > 0.0
+        # oblate: more mass spread in the equatorial plane than the axis
+        mid = 8
+        eq_extent = (res.rho[:, :, mid].sum(axis=1) > 1e-6).sum()
+        ax_extent = (res.rho[mid, mid, :] > 1e-6).sum()
+        assert eq_extent >= ax_extent
+
+    def test_bad_axis_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            scf_single_star(axis_ratio=1.5)
+
+
+class TestScenarios:
+    def test_sod_tube_initial_state(self):
+        mesh = sod_tube(n=(32, 8, 8))
+        I = mesh.interior
+        assert I[RHO][0, 0, 0] == pytest.approx(1.0)
+        assert I[RHO][-1, 0, 0] == pytest.approx(0.125)
+        # passive scalars tag the chambers
+        assert I[PASSIVE0][0, 0, 0] > 0 and I[PASSIVE0][-1, 0, 0] == 0.0
+
+    def test_sedov_energy_deposited(self):
+        E = 0.7
+        mesh = sedov_blast(n=16, E=E)
+        total = mesh.conserved_totals()["egas"]
+        ambient = 1e-6 / (IdealGas(gamma=1.4).gamma - 1.0)
+        assert total == pytest.approx(E + ambient, rel=1e-6)
+
+    def test_sedov_requires_resolvable_radius(self):
+        with pytest.raises(ValueError):
+            sedov_blast(n=16, r_init=1e-9)
+
+    def test_sedov_is_centred(self):
+        mesh = sedov_blast(n=16)
+        I = mesh.interior
+        peak = np.unravel_index(np.argmax(I[EGAS]), I[EGAS].shape)
+        centre = ((np.array(peak) + 0.5) * mesh.dx)
+        assert np.abs(centre - 0.5).max() <= 2.0 * mesh.dx

@@ -1,0 +1,79 @@
+"""Conservation monitor, evolve driver, analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (KernelCounts, MONOPOLE_KERNEL_FLOPS,
+                            MULTIPOLE_KERNEL_FLOPS, fmm_flops_per_solve,
+                            format_table)
+from repro.core import Mesh, sod_tube
+from repro.core.stepper import ConservationMonitor, evolve
+
+
+class TestMonitor:
+    def test_sample_records_state(self):
+        mesh = sod_tube(n=(16, 8, 8))
+        mon = ConservationMonitor()
+        rec = mon.sample(mesh)
+        assert rec.mass > 0
+        assert rec.step == 0
+        assert len(mon.records) == 1
+
+    def test_drift_zero_with_single_record(self):
+        mon = ConservationMonitor()
+        mon.sample(sod_tube(n=(16, 8, 8)))
+        assert mon.drift("mass") == 0.0
+
+    def test_evolve_advances_to_t_end(self):
+        mesh = sod_tube(n=(16, 8, 8))
+        mon = evolve(mesh, t_end=0.02)
+        assert mesh.time == pytest.approx(0.02)
+        assert len(mon.records) == mesh.steps + 1
+
+    def test_evolve_respects_max_steps(self):
+        mesh = sod_tube(n=(16, 8, 8))
+        evolve(mesh, t_end=10.0, max_steps=3)
+        assert mesh.steps == 3
+
+    def test_evolve_callback_invoked(self):
+        mesh = sod_tube(n=(16, 8, 8))
+        seen = []
+        evolve(mesh, t_end=10.0, max_steps=2,
+               callback=lambda m: seen.append(m.time))
+        assert len(seen) == 2
+
+    def test_report_keys(self):
+        mesh = sod_tube(n=(16, 8, 8))
+        mon = evolve(mesh, t_end=10.0, max_steps=2)
+        rep = mon.report()
+        assert set(rep) == {"mass", "momentum", "angular_momentum", "egas"}
+        assert rep["mass"] < 1e-12
+
+
+class TestFlopAccounting:
+    def test_kernel_counts(self):
+        kc = KernelCounts(multipole_launches=2, monopole_launches=3)
+        assert kc.total_launches == 5
+        assert kc.flops == pytest.approx(
+            2 * MULTIPOLE_KERNEL_FLOPS + 3 * MONOPOLE_KERNEL_FLOPS)
+
+    def test_paper_constants(self):
+        assert MULTIPOLE_KERNEL_FLOPS == 549_888 * 455
+        assert MONOPOLE_KERNEL_FLOPS == 549_888 * 12
+
+    def test_fmm_flops_per_solve(self):
+        assert fmm_flops_per_solve(1, 0) == MULTIPOLE_KERNEL_FLOPS
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 0.001]],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_handles_empty_rows(self):
+        out = format_table(["x"], [])
+        assert "x" in out

@@ -1,0 +1,157 @@
+"""AGAS registry, migration, actions; parcels and their handler."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (AgasError, AgasRuntime, Component,
+                           EAGER_THRESHOLD, Parcel, ParcelHandler,
+                           WorkStealingScheduler, serialized_size)
+
+
+class Counter(Component):
+    def __init__(self):
+        super().__init__()
+        self.value = 0
+        self.moves = []
+
+    def add(self, n):
+        self.value += n
+        return self.value
+
+    def fail(self):
+        raise RuntimeError("action failed")
+
+    def on_migrate(self, old, new):
+        self.moves.append((old, new))
+
+
+class TestAgasRegistry:
+    def test_register_assigns_gid(self):
+        ag = AgasRuntime(2)
+        gid = ag.register(Counter(), locality=1)
+        assert gid.msb == 1
+
+    def test_gids_are_unique(self):
+        ag = AgasRuntime(1)
+        gids = {ag.register(Counter()) for _ in range(100)}
+        assert len(gids) == 100
+
+    def test_resolve_returns_component_and_home(self):
+        ag = AgasRuntime(3)
+        c = Counter()
+        gid = ag.register(c, locality=2)
+        comp, loc = ag.resolve(gid)
+        assert comp is c and loc == 2
+
+    def test_resolve_unknown_gid_raises(self):
+        ag = AgasRuntime(1)
+        gid = ag.register(Counter())
+        ag.unregister(gid)
+        with pytest.raises(AgasError):
+            ag.resolve(gid)
+
+    def test_bad_locality_rejected(self):
+        ag = AgasRuntime(2)
+        with pytest.raises(AgasError):
+            ag.register(Counter(), locality=5)
+
+    def test_components_on_locality(self):
+        ag = AgasRuntime(2)
+        a = ag.register(Counter(), 0)
+        b = ag.register(Counter(), 1)
+        assert ag.components_on(0) == [a]
+        assert ag.components_on(1) == [b]
+
+
+class TestMigration:
+    def test_gid_survives_migration(self):
+        """Sec. 5.2: migrated components stay addressable."""
+        ag = AgasRuntime(4)
+        c = Counter()
+        gid = ag.register(c, 0)
+        ag.migrate(gid, 3)
+        assert ag.locality_of(gid) == 3
+        assert ag.async_action(gid, "add", 1).get() == 1
+
+    def test_migration_hook_called(self):
+        ag = AgasRuntime(2)
+        c = Counter()
+        gid = ag.register(c, 0)
+        ag.migrate(gid, 1)
+        assert c.moves == [(0, 1)]
+
+    def test_migration_counter(self):
+        ag = AgasRuntime(2)
+        gid = ag.register(Counter(), 0)
+        for _ in range(5):
+            ag.migrate(gid, 1)
+            ag.migrate(gid, 0)
+        assert ag.migrations == 10
+
+
+class TestActions:
+    def test_sync_action(self):
+        ag = AgasRuntime(1)
+        gid = ag.register(Counter())
+        assert ag.async_action(gid, "add", 5).get() == 5
+        assert ag.async_action(gid, "add", 5).get() == 10
+
+    def test_unknown_action_raises(self):
+        ag = AgasRuntime(1)
+        gid = ag.register(Counter())
+        with pytest.raises(AgasError, match="no action"):
+            ag.async_action(gid, "nonexistent")
+
+    def test_action_exception_in_future(self):
+        ag = AgasRuntime(1)
+        gid = ag.register(Counter())
+        with pytest.raises(RuntimeError, match="action failed"):
+            ag.async_action(gid, "fail").get()
+
+    def test_async_action_on_scheduler(self):
+        with WorkStealingScheduler(2) as sched:
+            ag = AgasRuntime(1, executor=sched.post)
+            gid = ag.register(Counter())
+            futs = [ag.async_action(gid, "add", 1) for _ in range(50)]
+            for f in futs:
+                f.get()
+            comp, _ = ag.resolve(gid)
+            assert comp.value == 50
+
+
+class TestParcels:
+    def test_small_parcel_is_eager(self):
+        ag = AgasRuntime(1)
+        gid = ag.register(Counter())
+        p = Parcel(gid, "add", (1,))
+        assert p.is_eager and not p.uses_rma
+
+    def test_large_array_uses_rma(self):
+        """Sec. 5.2: buffers above the eager threshold go through RMA."""
+        ag = AgasRuntime(1)
+        gid = ag.register(Counter())
+        big = np.zeros(EAGER_THRESHOLD, dtype=np.float64)
+        p = Parcel(gid, "add", (big,))
+        assert p.uses_rma and not p.is_eager
+
+    def test_serialized_size_counts_array_bytes(self):
+        arr = np.zeros(1000, dtype=np.float64)
+        assert serialized_size((arr,)) >= arr.nbytes
+
+    def test_parcel_sequence_numbers_increase(self):
+        ag = AgasRuntime(1)
+        gid = ag.register(Counter())
+        a = Parcel(gid, "add", (1,))
+        b = Parcel(gid, "add", (1,))
+        assert b.seq > a.seq
+
+    def test_handler_delivers_and_counts(self):
+        ag = AgasRuntime(1)
+        gid = ag.register(Counter())
+        h = ParcelHandler(ag)
+        assert h.deliver(Parcel(gid, "add", (3,))).get() == 3
+        assert h.deliver(Parcel(gid, "add", (4,))).get() == 7
+        stats = h.stats()
+        assert stats["received"] == 2
+        assert stats["per_action"] == {"add": 2}
+        assert stats["bytes_received"] > 0

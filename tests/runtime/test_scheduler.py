@@ -1,0 +1,114 @@
+"""Work-stealing scheduler: execution, stealing, error isolation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime import WorkStealingScheduler, when_all
+
+
+class TestLifecycle:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            WorkStealingScheduler(0)
+
+    def test_context_manager_shuts_down(self):
+        with WorkStealingScheduler(2) as s:
+            assert s.submit(lambda: 1).get() == 1
+        with pytest.raises(RuntimeError):
+            s.post(lambda: None)
+
+    def test_double_shutdown_is_safe(self):
+        s = WorkStealingScheduler(1)
+        s.shutdown()
+        s.shutdown()
+
+    def test_n_workers(self):
+        with WorkStealingScheduler(3) as s:
+            assert s.n_workers == 3
+
+
+class TestExecution:
+    def test_submit_returns_result(self):
+        with WorkStealingScheduler(2) as s:
+            assert s.submit(pow, 2, 10).get() == 1024
+
+    def test_many_tasks_all_complete(self):
+        with WorkStealingScheduler(4) as s:
+            futs = [s.submit(lambda i=i: i * i) for i in range(300)]
+            total = sum(f.get() for f in futs)
+        assert total == sum(i * i for i in range(300))
+
+    def test_parallel_execution_uses_multiple_threads(self):
+        seen = set()
+        barrier = threading.Barrier(3, timeout=5.0)
+
+        def task():
+            seen.add(threading.get_ident())
+            barrier.wait()
+
+        with WorkStealingScheduler(3) as s:
+            futs = [s.submit(task) for _ in range(3)]
+            when_all(futs).get(timeout=5.0)
+        assert len(seen) == 3
+
+    def test_nested_submission(self):
+        with WorkStealingScheduler(2) as s:
+            def outer():
+                inner = [s.submit(lambda i=i: i) for i in range(10)]
+                return sum(f.get() for f in inner)
+
+            assert s.submit(outer).get() == 45
+
+    def test_wait_idle(self):
+        with WorkStealingScheduler(2) as s:
+            for _ in range(50):
+                s.post(lambda: time.sleep(0.001))
+            assert s.wait_idle(timeout=10.0)
+
+    def test_recursive_fanout_via_continuations(self):
+        """Task trees compose through futures (continuation style, not
+        blocking waits — blocking a worker inside a task on a child task's
+        future can exhaust the pool, unlike HPX's suspendable threads)."""
+        from repro.runtime import dataflow, when_all
+
+        with WorkStealingScheduler(4) as s:
+            def spawn_tree(depth):
+                if depth == 0:
+                    return s.submit(lambda: 1)
+                kids = [spawn_tree(depth - 1) for _ in range(2)]
+                return dataflow(
+                    lambda a, b: a + b, *kids, executor=s.post)
+
+            assert spawn_tree(6).get(timeout=30.0) == 64
+            assert s.stats.executed >= 2 ** 6
+
+
+class TestErrors:
+    def test_submit_error_goes_to_future(self):
+        with WorkStealingScheduler(2) as s:
+            f = s.submit(lambda: 1 / 0)
+            with pytest.raises(ZeroDivisionError):
+                f.get()
+            # a failed task must not kill the worker
+            assert s.submit(lambda: "alive").get() == "alive"
+
+    def test_posted_error_recorded_not_fatal(self):
+        with WorkStealingScheduler(1) as s:
+            s.post(lambda: 1 / 0)
+            s.wait_idle(timeout=5.0)
+            assert any(isinstance(e, ZeroDivisionError) for e in s.errors)
+            assert s.submit(lambda: 3).get() == 3
+
+
+class TestStats:
+    def test_counts_posted_and_executed(self):
+        with WorkStealingScheduler(2) as s:
+            futs = [s.submit(lambda: None) for _ in range(20)]
+            when_all(futs).get(timeout=5.0)
+            s.wait_idle(timeout=5.0)
+            snap = s.stats.snapshot()
+        assert snap["posted"] >= 20
+        assert snap["executed"] >= 20
+        assert sum(snap["per_worker"]) == snap["executed"]

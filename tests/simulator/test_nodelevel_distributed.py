@@ -1,0 +1,125 @@
+"""Node-level DES (Table 2) and the distributed scaling model (Figs 2/3)."""
+
+import pytest
+
+from repro.analysis import (MONOPOLE_KERNEL_FLOPS, MULTIPOLE_KERNEL_FLOPS,
+                            parallel_efficiency, speedup)
+from repro.network import PARCELPORTS
+from repro.simulator import (PIZ_DAINT, PIZ_DAINT_CPU, StepModel,
+                             TABLE2_CONFIGS, XEON_E5_2660V3_10C,
+                             XEON_E5_2660V3_20C, measure_node,
+                             simulate_gravity_solve, with_gpus)
+from repro.simulator.platforms import V100
+from repro.simulator.scaling import cached_profile, reference_rate
+
+LF = PARCELPORTS["libfabric"]
+MPI = PARCELPORTS["mpi"]
+
+
+class TestNodeLevel:
+    def test_cpu_only_rate_is_kernel_rate(self):
+        """Sec. 6.1.1: on the CPU each kernel runs on one core; measured
+        GFLOP/s is exactly cores x per-core kernel rate."""
+        r = measure_node(XEON_E5_2660V3_10C)
+        expected = XEON_E5_2660V3_10C.cores \
+            * XEON_E5_2660V3_10C.fmm_core_rate()
+        assert r.gflops == pytest.approx(expected, rel=1e-12)
+
+    def test_cpu_20c_doubles_10c(self):
+        a = measure_node(XEON_E5_2660V3_10C)
+        b = measure_node(XEON_E5_2660V3_20C)
+        assert b.gflops == pytest.approx(2 * a.gflops, rel=1e-12)
+
+    def test_gpu_beats_cpu_by_order_of_magnitude(self):
+        cpu = measure_node(PIZ_DAINT_CPU)
+        gpu = measure_node(PIZ_DAINT)
+        assert gpu.gflops > 4 * cpu.gflops
+
+    def test_flop_accounting_uses_paper_constants(self):
+        r = simulate_gravity_solve(PIZ_DAINT_CPU, n_interior=10,
+                                   n_leaves=90)
+        assert r.kernel_flops == pytest.approx(
+            10 * MULTIPOLE_KERNEL_FLOPS + 90 * MONOPOLE_KERNEL_FLOPS)
+
+    def test_gpu_launch_fraction_high(self):
+        """Sec. 6.1.2: >90% of kernels launch on the GPU."""
+        r = measure_node(PIZ_DAINT)
+        assert r.gpu_fraction > 0.85
+
+    def test_starvation_inversion_one_gpu(self):
+        """Table 2: 10 cores + 1 V100 outperforms 20 cores + 1 V100."""
+        ten = measure_node(with_gpus(XEON_E5_2660V3_10C, V100))
+        twenty = measure_node(with_gpus(XEON_E5_2660V3_20C, V100))
+        assert ten.gflops > twenty.gflops
+        assert ten.gpu_fraction > twenty.gpu_fraction
+
+    def test_two_gpus_need_enough_cores(self):
+        """Table 2: 20c + 2 V100 beats 10c + 2 V100."""
+        ten = measure_node(with_gpus(XEON_E5_2660V3_10C, V100, V100))
+        twenty = measure_node(with_gpus(XEON_E5_2660V3_20C, V100, V100))
+        assert twenty.gflops > ten.gflops
+
+    def test_fraction_of_peak_in_paper_band(self):
+        """All GPU rows land between 10% and 45% of device peak."""
+        for name, node in TABLE2_CONFIGS:
+            r = measure_node(node)
+            assert 0.10 < r.fraction_of_peak < 0.45, name
+
+    def test_stalled_simulation_detected(self):
+        with pytest.raises(ValueError):
+            simulate_gravity_solve(PIZ_DAINT, n_interior=-1, n_leaves=-1)
+
+
+class TestScalingModel:
+    @pytest.fixture(scope="class")
+    def model14(self):
+        return StepModel(cached_profile(14), PIZ_DAINT)
+
+    def test_single_node_has_no_messages(self, model14):
+        res = model14.step_time(1, LF)
+        assert res.total_messages == 0
+        assert res.t_comm_cpu_max == 0.0
+
+    def test_two_nodes_speed_up(self, model14):
+        r1 = model14.step_time(1, LF)
+        r2 = model14.step_time(2, LF)
+        assert r2.subgrids_per_second > 1.5 * r1.subgrids_per_second
+
+    def test_strong_scaling_efficiency_decays(self, model14):
+        ref = reference_rate()
+        effs = [parallel_efficiency(
+            model14.step_time(n, LF).subgrids_per_second, n, ref)
+            for n in (2, 32, 512)]
+        assert effs[0] > effs[1] > effs[2]
+
+    def test_weak_scaling_near_ideal(self):
+        """Fig. 2: 'Weak scaling is clearly very good' — constant work
+        per node along the level/node diagonal."""
+        ref = reference_rate()
+        m15 = StepModel(cached_profile(15), PIZ_DAINT)
+        rate = m15.step_time(4, LF).subgrids_per_second
+        eff = parallel_efficiency(rate, 4, ref)
+        assert eff > 0.75
+
+    def test_libfabric_wins_at_scale(self):
+        """Fig. 3: the ratio grows well above 1 for large runs."""
+        m = StepModel(cached_profile(15), PIZ_DAINT)
+        lf = m.step_time(1024, LF).subgrids_per_second
+        mpi = m.step_time(1024, MPI).subgrids_per_second
+        assert lf / mpi > 1.5
+
+    def test_libfabric_dips_at_small_scale(self):
+        """Fig. 3: 'a slight reduction in performance for lower node
+        counts'."""
+        m = StepModel(cached_profile(14), PIZ_DAINT)
+        lf = m.step_time(2, LF).subgrids_per_second
+        mpi = m.step_time(2, MPI).subgrids_per_second
+        assert lf / mpi < 1.02
+
+    def test_speedup_arithmetic(self):
+        assert speedup(200.0, 100.0) == 2.0
+        assert parallel_efficiency(200.0, 4, 100.0) == 0.5
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+        with pytest.raises(ValueError):
+            parallel_efficiency(1.0, 0, 1.0)

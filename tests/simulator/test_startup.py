@@ -1,0 +1,40 @@
+"""Start-up (restart refinement) model: the Sec. 6.3 order-of-magnitude
+claim."""
+
+import pytest
+
+from repro.network import PARCELPORTS
+from repro.simulator import startup_speedup, startup_time
+
+LF = PARCELPORTS["libfabric"]
+MPI = PARCELPORTS["mpi"]
+
+
+class TestStartup:
+    def test_target_below_restart_rejected(self):
+        with pytest.raises(ValueError):
+            startup_time(12, 64, LF)
+
+    def test_more_nodes_refine_faster(self):
+        assert startup_time(16, 2048, LF) < startup_time(16, 256, LF)
+
+    def test_higher_levels_cost_more(self):
+        assert startup_time(17, 1024, LF) > startup_time(16, 1024, LF)
+
+    def test_order_of_magnitude_gain(self):
+        """'Start-up timings ... were in fact reduced by an order of
+        magnitude using the libfabric parcelport' (Sec. 6.3)."""
+        for level, nodes in ((16, 1024), (17, 2048)):
+            ratio = startup_speedup(level, nodes, (MPI, LF))
+            assert 7.0 < ratio < 20.0, f"L{level}@{nodes}: {ratio}"
+
+    def test_storm_flag_drives_the_gap(self):
+        """Without the unexpected-message storm, the ports are within
+        ~3x — the pathology is specific to the start-up pattern."""
+        calm_mpi = MPI.message_cost(256, storm=False)
+        storm_mpi = MPI.message_cost(256, storm=True)
+        assert storm_mpi.receiver_cpu > 3.0 * calm_mpi.receiver_cpu
+        calm_lf = LF.message_cost(256, storm=False)
+        storm_lf = LF.message_cost(256, storm=True)
+        assert storm_lf.receiver_cpu == pytest.approx(
+            calm_lf.receiver_cpu)

@@ -1,0 +1,84 @@
+"""Analytic reference solutions (Sod exact Riemann, Sedov-Taylor)."""
+
+import numpy as np
+import pytest
+
+from repro.validation import (RiemannState, post_shock_state, sedov_alpha,
+                              shock_radius, sod_solution, solve_riemann)
+
+
+class TestRiemannSolver:
+    def test_sod_star_values_match_literature(self):
+        p, u = solve_riemann(RiemannState(1.0, 0.0, 1.0),
+                             RiemannState(0.125, 0.0, 0.1), gamma=1.4)
+        assert p == pytest.approx(0.30313, rel=1e-4)
+        assert u == pytest.approx(0.92745, rel=1e-4)
+
+    def test_symmetric_problem_has_zero_star_velocity(self):
+        s = RiemannState(1.0, 0.0, 1.0)
+        p, u = solve_riemann(s, s)
+        assert u == pytest.approx(0.0, abs=1e-12)
+        assert p == pytest.approx(1.0, rel=1e-10)
+
+    def test_colliding_streams_raise_pressure(self):
+        p, _u = solve_riemann(RiemannState(1.0, 1.0, 1.0),
+                              RiemannState(1.0, -1.0, 1.0))
+        assert p > 1.0
+
+    def test_t_zero_returns_initial_data(self):
+        x = np.linspace(0, 1, 11)
+        sol = sod_solution(x, 0.0)
+        assert sol.rho[0] == 1.0 and sol.rho[-1] == 0.125
+
+    def test_sampled_solution_monotone_density_regions(self):
+        x = np.linspace(0, 1, 201)
+        sol = sod_solution(x, 0.2)
+        # density bounded by initial extremes
+        assert sol.rho.max() <= 1.0 + 1e-12
+        assert sol.rho.min() >= 0.125 - 1e-12
+        # contact and shock present: at least two distinct plateaus
+        plateaus = np.unique(np.round(sol.rho, 3))
+        assert len(plateaus) > 3
+
+    def test_rankine_hugoniot_across_shock(self):
+        """Mass flux is continuous across the right-moving shock."""
+        x = np.linspace(0, 1, 2001)
+        t = 0.2
+        sol = sod_solution(x, t)
+        # locate the shock: last jump in density
+        jumps = np.nonzero(np.abs(np.diff(sol.rho)) > 0.05)[0]
+        i = jumps[-1]
+        s_speed = 1.7522  # literature value for Sod at gamma=1.4
+        rho1, u1 = sol.rho[i], sol.u[i]
+        rho2, u2 = sol.rho[i + 1], sol.u[i + 1]
+        flux1 = rho1 * (u1 - s_speed)
+        flux2 = rho2 * (u2 - s_speed)
+        assert flux1 == pytest.approx(flux2, rel=0.02)
+
+
+class TestSedov:
+    def test_alpha_literature_values(self):
+        assert sedov_alpha(1.4) == pytest.approx(0.8511, rel=1e-3)
+        assert sedov_alpha(5.0 / 3.0) == pytest.approx(0.4936, rel=1e-3)
+
+    def test_alpha_interpolates_between(self):
+        a = sedov_alpha(1.5)
+        assert sedov_alpha(5 / 3) < a < sedov_alpha(1.4)
+
+    def test_shock_radius_scaling(self):
+        r1 = shock_radius(1.0, 1.0, 1.0, 1.4)
+        r32 = shock_radius(32.0, 1.0, 1.0, 1.4)
+        assert r32 / r1 == pytest.approx(32 ** 0.4, rel=1e-12)
+
+    def test_energy_scaling(self):
+        r1 = shock_radius(1.0, 1.0, 1.0, 1.4)
+        r2 = shock_radius(1.0, 32.0, 1.0, 1.4)
+        assert r2 / r1 == pytest.approx(2.0, rel=1e-12)
+
+    def test_post_shock_compression_is_strong_shock_limit(self):
+        st = post_shock_state(1.0, 1.0, 1.0, gamma=1.4)
+        assert st["rho"] == pytest.approx((1.4 + 1) / (1.4 - 1))
+
+    def test_post_shock_velocity_below_shock_speed(self):
+        st = post_shock_state(1.0, 1.0, 1.0, gamma=1.4)
+        assert 0 < st["u"] < st["speed"]
