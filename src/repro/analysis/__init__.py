@@ -7,6 +7,7 @@ from .flops import (STENCIL_SIZE, CELLS_PER_SUBGRID, INTERACTIONS_PER_LAUNCH,
                     OTHER_FLOPS_PER_SUBGRID, KernelCounts,
                     fmm_flops_per_solve)
 from .efficiency import speedup, parallel_efficiency, weak_efficiency
+from .profile import format_report, group_snapshot, run_example_scenario
 from .tables import format_table
 
 __all__ = ["STENCIL_SIZE", "CELLS_PER_SUBGRID", "INTERACTIONS_PER_LAUNCH",
@@ -14,4 +15,5 @@ __all__ = ["STENCIL_SIZE", "CELLS_PER_SUBGRID", "INTERACTIONS_PER_LAUNCH",
            "MONOPOLE_KERNEL_FLOPS", "MULTIPOLE_KERNEL_FLOPS",
            "OTHER_FLOPS_PER_SUBGRID", "KernelCounts", "fmm_flops_per_solve",
            "speedup", "parallel_efficiency", "weak_efficiency",
-           "format_table"]
+           "format_table",
+           "format_report", "group_snapshot", "run_example_scenario"]

@@ -1,0 +1,261 @@
+"""Counter-snapshot aggregation and the runnable profiling harness.
+
+APEX gives Octo-Tiger "access to performance data, such as core
+utilization, task overheads, and network throughput" (Sec. 4.1).  This
+module is the reporting end of our substitute: it turns a
+:class:`~repro.runtime.counters.CounterRegistry` snapshot into the
+utilization / GPU-launch-percentage tables EXPERIMENTS.md quotes, and
+bundles a runnable scenario so
+
+    python -m repro.analysis.profile
+
+exercises the whole instrumented runtime stack (work-stealing scheduler,
+futures, simulated CUDA streams + launch policy, parcelport cost models,
+distributed step model), then writes ``trace.json`` (Chrome trace-event
+format, loadable in ``chrome://tracing`` / Perfetto) and prints the
+counters report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from typing import Any
+
+import numpy as np
+
+from ..runtime import trace
+from ..runtime import future as future_mod
+from ..runtime.counters import CounterRegistry, default_registry
+from .tables import format_table
+
+__all__ = ["group_snapshot", "format_report", "run_example_scenario", "main"]
+
+
+def group_snapshot(snapshot: dict[str, float]) -> dict[str, dict[str, float]]:
+    """Group a flat registry snapshot by top-level counter prefix.
+
+    ``{"/threads/executed": 10, "/cuda/launch/gpu": 3}`` becomes
+    ``{"threads": {"executed": 10}, "cuda": {"launch/gpu": 3}}``.
+    """
+    groups: dict[str, dict[str, float]] = {}
+    for name, value in snapshot.items():
+        parts = name.lstrip("/").split("/", 1)
+        head = parts[0]
+        tail = parts[1] if len(parts) > 1 else ""
+        groups.setdefault(head, {})[tail] = value
+    return groups
+
+
+def _pct(x: float) -> str:
+    return f"{100.0 * x:.2f}%"
+
+
+def format_report(registry: CounterRegistry | None = None) -> str:
+    """Render the counters of ``registry`` as the EXPERIMENTS-style tables."""
+    registry = registry or default_registry()
+    snap = registry.snapshot()
+    groups = group_snapshot(snap)
+    sections: list[str] = []
+
+    threads = groups.get("threads")
+    if threads:
+        rows = []
+        for key in ("posted", "executed", "stolen", "rejected",
+                    "idle-sleeps"):
+            if key in threads:
+                rows.append([key, int(threads[key])])
+        if "steal-rate" in threads:
+            rows.append(["steal-rate", _pct(threads["steal-rate"])])
+        if "idle-rate" in threads:
+            rows.append(["idle-rate", _pct(threads["idle-rate"])])
+        sections.append(format_table(
+            ["counter", "value"], rows, title="scheduler (/threads)"))
+        workers = sorted((k, v) for k, v in threads.items()
+                         if k.startswith("worker/"))
+        if workers:
+            total = max(sum(v for _, v in workers), 1.0)
+            rows = [[k.split("/")[1], int(v), _pct(v / total)]
+                    for k, v in workers]
+            sections.append(format_table(
+                ["worker", "executed", "share"], rows,
+                title="per-worker utilization"))
+
+    cuda = groups.get("cuda")
+    if cuda:
+        launch = {k.split("/", 1)[1]: v for k, v in cuda.items()
+                  if k.startswith("launch/")}
+        if launch:
+            rows = [["gpu", int(launch.get("gpu", 0))],
+                    ["cpu-fallback", int(launch.get("cpu", 0))],
+                    ["gpu-launch %", _pct(launch.get("gpu-fraction", 0.0))]]
+            sections.append(format_table(
+                ["launch target", "count"], rows,
+                title="kernel launch policy (/cuda/launch) — "
+                      "the Sec. 6.1.2 statistic"))
+        devices = sorted({k.split("/")[0] for k in cuda
+                          if not k.startswith("launch/")})
+        rows = []
+        for dev in devices:
+            rows.append([dev,
+                         int(cuda.get(f"{dev}/kernels-executed", 0)),
+                         int(cuda.get(f"{dev}/streams", 0))])
+        if rows:
+            sections.append(format_table(
+                ["device", "kernels", "streams"], rows,
+                title="devices (/cuda)"))
+
+    parcels = groups.get("parcels")
+    if parcels:
+        ports = sorted({k.split("/")[0] for k in parcels})
+        rows = []
+        for port in ports:
+            def get(key: str, port: str = port) -> float:
+                return parcels.get(f"{port}/{key}", 0.0)
+            rows.append([
+                port, int(get("messages")), int(get("bytes")),
+                _pct(get("eager-fraction")),
+                int(get("rendezvous")), int(get("rma")),
+                get("sender_cpu"), get("wire"), get("receiver_cpu"),
+            ])
+        sections.append(format_table(
+            ["port", "messages", "bytes", "eager", "rendezvous", "rma",
+             "sender-cpu s", "wire s", "receiver-cpu s"], rows,
+            title="parcelport cost components (/parcels)"))
+
+    futures = groups.get("futures")
+    if futures:
+        rows = [[k, int(v)] for k, v in sorted(futures.items())]
+        sections.append(format_table(
+            ["counter", "value"], rows, title="futures (/futures)"))
+
+    sim = groups.get("simulator")
+    if sim:
+        rows = [[k, v] for k, v in sorted(sim.items())]
+        sections.append(format_table(
+            ["counter", "value"], rows, title="step model (/simulator)"))
+
+    if not sections:
+        return "(no counters recorded)"
+    return "\n\n".join(sections)
+
+
+# -- the runnable scenario ---------------------------------------------------
+
+def run_example_scenario(registry: CounterRegistry | None = None,
+                         n_kernels: int = 192, n_streams: int = 16,
+                         n_gpu_workers: int = 4, n_cpu_workers: int = 4,
+                         pair_batch: int = 2000,
+                         step_nodes: tuple[int, ...] = (2, 16, 64),
+                         tree_level: int = 13,
+                         seed: int = 1) -> dict[str, Any]:
+    """Run the quickstart profiling scenario through the full runtime stack.
+
+    A batch of monopole FMM kernels is launched through the paper's
+    GPU-else-CPU policy with continuation chaining on a work-stealing
+    scheduler (the Sec. 5.1 node model), then the distributed step model
+    evaluates a few node counts over both parcelports (the Sec. 6.3 cost
+    model).  All components publish their counters into ``registry``.
+    """
+    from ..core.gravity.kernels import p2p_pair
+    from ..network.parcelport import PARCELPORTS
+    from ..network import parcelport as parcelport_mod
+    from ..runtime import (CudaDevice, LaunchPolicy, StreamPool,
+                           WorkStealingScheduler, when_all)
+    from ..simulator.distributed import StepModel
+    from ..simulator.scaling import cached_profile
+    from ..simulator.platforms import PIZ_DAINT
+
+    registry = registry or default_registry()
+    rng = np.random.default_rng(seed)
+
+    def make_kernel():
+        dR = rng.normal(size=(pair_batch, 3)) * 6 + 5
+        mA = rng.uniform(0.5, 2.0, pair_batch)
+        mB = rng.uniform(0.5, 2.0, pair_batch)
+
+        def fmm_monopole_kernel():
+            return p2p_pair(dR, mA, mB)[0].sum()
+        return fmm_monopole_kernel
+
+    kernels = [make_kernel() for _ in range(n_kernels)]
+
+    with CudaDevice(n_streams=n_streams, n_workers=n_gpu_workers,
+                    name="sim-gpu") as gpu, \
+            WorkStealingScheduler(n_cpu_workers) as cpu:
+        policy = LaunchPolicy(StreamPool([gpu]))
+        with trace.span("gravity-solve", "phase"):
+            sends = []
+            for i, kern in enumerate(kernels):
+                fut = policy.launch(kern)
+                sends.append(fut.then(lambda f, i=i: (i, f.get()),
+                                      executor=cpu.post))
+            results = when_all(sends).get()
+            total = sum(f.get()[1] for f in results)
+        cpu.wait_idle(timeout=30.0)
+        cpu.publish_counters(registry)
+        gpu.publish_counters(registry)
+        policy.publish_counters(registry)
+
+    with trace.span("step-model", "phase"):
+        profile = cached_profile(tree_level)
+        model = StepModel(profile, PIZ_DAINT, registry=registry)
+        step_results = {}
+        for port_name, port in PARCELPORTS.items():
+            for n in step_nodes:
+                step_results[(port_name, n)] = model.step_time(n, port)
+
+    future_mod.publish_counters(registry)
+    parcelport_mod.publish_counters(registry)
+    return {
+        "kernel_sum": float(total),
+        "gpu_launches": policy.gpu_launches,
+        "cpu_launches": policy.cpu_launches,
+        "step_results": step_results,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.profile",
+        description="Run the instrumented quickstart scenario; write a "
+                    "Chrome trace and print the counters report.")
+    parser.add_argument("--out", default=".",
+                        help="output directory for trace.json (default: .)")
+    parser.add_argument("--kernels", type=int, default=192,
+                        help="FMM kernel launches in the node phase")
+    parser.add_argument("--level", type=int, default=13,
+                        help="octree refinement level for the step model")
+    parser.add_argument("--no-trace", action="store_true",
+                        help="skip span recording (counters only)")
+    args = parser.parse_args(argv)
+
+    registry = default_registry()
+    registry.reset()
+    if not args.no_trace:
+        trace.clear()
+        trace.enable()
+    try:
+        outcome = run_example_scenario(registry, n_kernels=args.kernels,
+                                       tree_level=args.level)
+    finally:
+        trace.disable()
+
+    report = format_report(registry)
+    print(report)
+    print()
+    print(f"gravity phase: {outcome['gpu_launches']} GPU / "
+          f"{outcome['cpu_launches']} CPU kernel launches, "
+          f"reduction = {outcome['kernel_sum']:.3f}")
+
+    if not args.no_trace:
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, "trace.json")
+        n_events = trace.export_chrome(path)
+        print(f"wrote {n_events} trace events to {path} "
+              "(load in chrome://tracing or https://ui.perfetto.dev)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,12 +25,73 @@ see EXPERIMENTS.md for paper-vs-measured values.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
-__all__ = ["MessageCost", "Parcelport", "PARCELPORTS"]
+#: eager/rendezvous switch-over — the single shared constant, so the cost
+#: model and the parcel serializer can never disagree on the boundary
+from ..runtime.parcel import EAGER_THRESHOLD as EAGER_BYTES
+from ..runtime.counters import CounterRegistry, default_registry
 
-#: eager/rendezvous switch-over, matching repro.runtime.parcel.EAGER_THRESHOLD
-EAGER_BYTES = 4096
+__all__ = ["MessageCost", "Parcelport", "PARCELPORTS", "EAGER_BYTES",
+           "PortStats", "port_stats", "reset_port_stats", "publish_counters"]
+
+
+class PortStats:
+    """Per-transport tallies of every :meth:`Parcelport.message_cost` call.
+
+    The paper's APEX counters expose network throughput per parcelport;
+    here each cost-model evaluation is tallied by port name — message and
+    byte counts, the eager/rendezvous/RMA path split, and the accumulated
+    cost components (sender CPU, wire, receiver CPU seconds).
+    """
+
+    __slots__ = ("messages", "bytes", "eager", "rendezvous", "rma",
+                 "sender_cpu", "wire", "receiver_cpu")
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.bytes = 0
+        self.eager = 0
+        self.rendezvous = 0
+        self.rma = 0
+        self.sender_cpu = 0.0
+        self.wire = 0.0
+        self.receiver_cpu = 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return {s: getattr(self, s) for s in self.__slots__}
+
+
+_stats_lock = threading.Lock()
+_port_stats: dict[str, PortStats] = {}
+
+
+def port_stats(name: str) -> PortStats:
+    """The accumulated tallies for transport ``name`` (created on demand)."""
+    with _stats_lock:
+        st = _port_stats.get(name)
+        if st is None:
+            st = _port_stats[name] = PortStats()
+        return st
+
+
+def reset_port_stats() -> None:
+    with _stats_lock:
+        _port_stats.clear()
+
+
+def publish_counters(registry: CounterRegistry | None = None) -> None:
+    """Publish ``/parcels/<port>/...`` gauges into ``registry``."""
+    registry = registry or default_registry()
+    with _stats_lock:
+        snaps = {name: st.snapshot() for name, st in _port_stats.items()}
+    for name, snap in snaps.items():
+        for key, value in snap.items():
+            registry.set_gauge(f"/parcels/{name}/{key}", float(value))
+        total = snap["messages"]
+        registry.set_gauge(f"/parcels/{name}/eager-fraction",
+                           snap["eager"] / total if total else 0.0)
 
 
 @dataclass(frozen=True)
@@ -126,7 +187,21 @@ class Parcelport:
                     * max(concurrent_senders - 1, 0))
         if storm:
             receiver *= self.storm_factor
-        return MessageCost(sender, wire, receiver)
+        cost = MessageCost(sender, wire, receiver)
+        st = port_stats(self.name)
+        with _stats_lock:
+            st.messages += 1
+            st.bytes += size
+            if size <= EAGER_BYTES:
+                st.eager += 1
+            elif self.rendezvous:
+                st.rendezvous += 1
+            else:
+                st.rma += 1
+            st.sender_cpu += cost.sender_cpu
+            st.wire += cost.wire
+            st.receiver_cpu += cost.receiver_cpu
+        return cost
 
 
 def _mpi() -> Parcelport:

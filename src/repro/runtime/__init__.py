@@ -5,6 +5,7 @@ futures + continuations, a work-stealing scheduler, AGAS, active-message
 parcels, channels, a simulated CUDA co-processor, and APEX-style counters.
 """
 
+from . import trace
 from .future import (Future, Promise, FutureError, make_ready_future,
                      make_exceptional_future, when_all, when_any, dataflow,
                      async_execute)
@@ -27,4 +28,5 @@ __all__ = [
     "CudaDevice", "CudaStream", "StreamPool", "LaunchPolicy",
     "DEFAULT_STREAMS_PER_GPU",
     "CounterRegistry", "default_registry", "counter", "gauge", "timer",
+    "trace",
 ]

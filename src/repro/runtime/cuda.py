@@ -31,8 +31,11 @@ from __future__ import annotations
 
 import collections
 import threading
+import time
 from typing import Any, Callable
 
+from . import trace
+from .counters import CounterRegistry, default_registry
 from .future import Future, Promise
 
 __all__ = ["CudaDevice", "CudaStream", "StreamPool", "LaunchPolicy",
@@ -51,13 +54,20 @@ class CudaStream:
         self._lock = threading.Lock()
         self._queue: collections.deque = collections.deque()
         self._in_flight = False
+        self._reserved = False
         self._last_future: Future | None = None
 
     def enqueue(self, fn: Callable[..., Any], *args: Any) -> Future:
-        """Submit ``fn(*args)`` to the device; returns its future."""
+        """Submit ``fn(*args)`` to the device; returns its future.
+
+        Enqueueing consumes any outstanding :meth:`StreamPool.try_acquire`
+        reservation on this stream (the acquired-for kernel is now queued,
+        so ``busy()`` keeps reporting True through ``_in_flight`` instead).
+        """
         promise = Promise()
         fut = promise.get_future()
         with self._lock:
+            self._reserved = False
             self._queue.append((fn, args, promise))
             self._last_future = fut
             should_kick = not self._in_flight
@@ -78,7 +88,20 @@ class CudaStream:
 
     def busy(self) -> bool:
         with self._lock:
-            return self._in_flight or bool(self._queue)
+            return self._in_flight or self._reserved or bool(self._queue)
+
+    def _try_reserve(self) -> bool:
+        """Atomically claim this stream if it is idle (pool-internal)."""
+        with self._lock:
+            if self._in_flight or self._reserved or self._queue:
+                return False
+            self._reserved = True
+            return True
+
+    def release(self) -> None:
+        """Give back a reservation without enqueueing a kernel."""
+        with self._lock:
+            self._reserved = False
 
     # -- device side ---------------------------------------------------------
 
@@ -144,10 +167,16 @@ class CudaDevice:
             if item is None:
                 continue
             fn, args, promise = item
+            t0 = time.perf_counter() if trace.TRACING else 0.0
             try:
                 promise.set_value(fn(*args))
             except BaseException as exc:
                 promise.set_exception(exc)
+            if trace.TRACING:
+                trace.default_recorder().complete(
+                    getattr(fn, "__name__", "kernel"), "cuda",
+                    t0, time.perf_counter(),
+                    device=self.name, stream=stream.index)
             with self._stats_lock:
                 self.kernels_executed += 1
             # keep per-stream FIFO: only after completion may the next op run
@@ -162,6 +191,19 @@ class CudaDevice:
         """Block until every stream has drained (cudaDeviceSynchronize)."""
         for s in self.streams:
             s.record_event().get()
+
+    def publish_counters(self, registry: CounterRegistry | None = None
+                         ) -> None:
+        """Publish ``/cuda/<device>/...`` gauges into ``registry``."""
+        registry = registry or default_registry()
+        with self._stats_lock:
+            executed = self.kernels_executed
+        registry.set_gauge(f"/cuda/{self.name}/kernels-executed",
+                           float(executed))
+        registry.set_gauge(f"/cuda/{self.name}/streams",
+                           float(len(self.streams)))
+        registry.set_gauge(f"/cuda/{self.name}/streams-busy",
+                           float(sum(s.busy() for s in self.streams)))
 
     def shutdown(self) -> None:
         with self._cond:
@@ -188,7 +230,13 @@ class StreamPool:
         self._rr = 0
 
     def try_acquire(self) -> CudaStream | None:
-        """Return an idle stream, or ``None`` if all streams are busy.
+        """Reserve and return an idle stream; ``None`` if all are busy.
+
+        The returned stream is *reserved* (its ``busy()`` reports True) so
+        concurrent acquirers can never be handed the same stream before
+        either has enqueued anything; the reservation is consumed by
+        :meth:`CudaStream.enqueue` or returned via
+        :meth:`CudaStream.release`.
 
         Round-robins across devices so multi-GPU nodes (the 2×V100 rows of
         Table 2) share load.
@@ -198,7 +246,7 @@ class StreamPool:
             n = len(all_streams)
             for k in range(n):
                 s = all_streams[(self._rr + k) % n]
-                if not s.busy():
+                if s._try_reserve():
                     self._rr = (self._rr + k + 1) % n
                     return s
         return None
@@ -232,10 +280,15 @@ class LaunchPolicy:
         with self._lock:
             self.cpu_launches += 1
         promise = Promise()
+        t0 = time.perf_counter() if trace.TRACING else 0.0
         try:
             promise.set_value(kernel(*args))
         except BaseException as exc:
             promise.set_exception(exc)
+        if trace.TRACING:
+            trace.default_recorder().complete(
+                getattr(kernel, "__name__", "kernel"), "cuda",
+                t0, time.perf_counter(), device="cpu-fallback")
         return promise.get_future()
 
     @property
@@ -244,3 +297,15 @@ class LaunchPolicy:
         with self._lock:
             total = self.gpu_launches + self.cpu_launches
             return self.gpu_launches / total if total else 0.0
+
+    def publish_counters(self, registry: CounterRegistry | None = None
+                         ) -> None:
+        """Publish ``/cuda/launch/...`` decision gauges into ``registry``."""
+        registry = registry or default_registry()
+        with self._lock:
+            gpu, cpu = self.gpu_launches, self.cpu_launches
+        registry.set_gauge("/cuda/launch/gpu", float(gpu))
+        registry.set_gauge("/cuda/launch/cpu", float(cpu))
+        total = gpu + cpu
+        registry.set_gauge("/cuda/launch/gpu-fraction",
+                           gpu / total if total else 0.0)

@@ -20,7 +20,10 @@ continuations as ordinary tasks rather than on a dedicated callback thread.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, Iterable, Sequence
+
+from . import trace
 
 __all__ = [
     "Future",
@@ -32,7 +35,27 @@ __all__ = [
     "when_any",
     "dataflow",
     "async_execute",
+    "continuations_dispatched",
+    "publish_counters",
 ]
+
+# continuation-dispatch tally for the /futures/... counters
+_dispatch_lock = threading.Lock()
+_dispatched = 0
+
+
+def continuations_dispatched() -> int:
+    """Total continuations dispatched through any future so far."""
+    with _dispatch_lock:
+        return _dispatched
+
+
+def publish_counters(registry=None) -> None:
+    """Publish ``/futures/...`` gauges into ``registry`` (default global)."""
+    from .counters import default_registry
+    registry = registry or default_registry()
+    registry.set_gauge("/futures/continuations-dispatched",
+                       float(continuations_dispatched()))
 
 
 class FutureError(RuntimeError):
@@ -101,6 +124,19 @@ class Future:
             self._dispatch(lambda cb=cb: cb(self))
 
     def _dispatch(self, thunk: Callable[[], None]) -> None:
+        global _dispatched
+        with _dispatch_lock:
+            _dispatched += 1
+        if trace.TRACING:
+            inner = thunk
+
+            def thunk() -> None:
+                t0 = time.perf_counter()
+                try:
+                    inner()
+                finally:
+                    trace.default_recorder().complete(
+                        "continuation", "future", t0, time.perf_counter())
         if self._executor is not None:
             self._executor(thunk)
         else:

@@ -13,6 +13,15 @@ items) — the classic Blumofe–Leiserson discipline HPX implements.
 The scheduler doubles as a *future executor*: pass ``scheduler.post`` as the
 ``executor`` argument of the :mod:`repro.runtime.future` combinators and
 continuations become ordinary stealable tasks.
+
+Idle workers block on ``_idle_cond`` until :meth:`WorkStealingScheduler.post`
+signals new work; a generation counter (``_wake_seq``, bumped under the
+condition for every enqueue) closes the scan-then-sleep race without the
+1 ms polling loop earlier revisions used.  Shutdown is two-phase: the
+``_shutdown`` flag flips under ``_idle_cond`` (atomically with respect to
+``post``, which rejects from then on), pending work drains, and only then
+are the ``_SHUTDOWN`` sentinels enqueued — so an accepted task can never
+land behind a sentinel and be silently dropped.
 """
 
 from __future__ import annotations
@@ -20,22 +29,32 @@ from __future__ import annotations
 import collections
 import random
 import threading
+import time
 from typing import Any, Callable
 
+from . import trace
+from .counters import CounterRegistry, default_registry
 from .future import Future, async_execute
 
 __all__ = ["WorkStealingScheduler", "TaskStats"]
+
+#: safety-net wait timeout for idle workers; wakeups are signalled, the
+#: timeout only guards against an (unexpected) lost notify
+_IDLE_FALLBACK_S = 0.5
 
 
 class TaskStats:
     """Counters mirroring HPX/APEX scheduler diagnostics."""
 
-    __slots__ = ("executed", "stolen", "posted", "per_worker")
+    __slots__ = ("executed", "stolen", "posted", "rejected", "idle_sleeps",
+                 "per_worker")
 
     def __init__(self, n_workers: int):
         self.executed = 0
         self.stolen = 0
         self.posted = 0
+        self.rejected = 0
+        self.idle_sleeps = 0
         self.per_worker = [0] * n_workers
 
     def snapshot(self) -> dict[str, Any]:
@@ -43,6 +62,8 @@ class TaskStats:
             "executed": self.executed,
             "stolen": self.stolen,
             "posted": self.posted,
+            "rejected": self.rejected,
+            "idle_sleeps": self.idle_sleeps,
             "per_worker": list(self.per_worker),
         }
 
@@ -59,18 +80,32 @@ class _Worker(threading.Thread):
         _TLS.worker = self
         sched = self.sched
         while True:
+            # Snapshot the wake generation *before* scanning: any post that
+            # lands after this read bumps the counter under _idle_cond, so
+            # the equality check below refuses to sleep through it.
+            seq = sched._wake_seq
             task = self._next_task()
             if task is _SHUTDOWN:
                 return
-            if task is None:
-                with sched._idle_cond:
-                    sched._idle_workers += 1
-                    if sched._idle_workers == len(sched._workers) and sched._pending == 0:
-                        sched._idle_cond.notify_all()
-                    sched._idle_cond.wait(timeout=0.001)
-                    sched._idle_workers -= 1
+            if task is not None:
+                self._execute(task)
                 continue
-            self._execute(task)
+            with sched._idle_cond:
+                sched._idle_workers += 1
+                # (wait_idle waiters are signalled by _execute when
+                # _pending hits zero; notifying here would wake the other
+                # idle workers and ping-pong them forever)
+                if sched._wake_seq == seq:
+                    with sched._stats_lock:
+                        sched.stats.idle_sleeps += 1
+                    if trace.TRACING:
+                        t0 = trace.begin()
+                        sched._idle_cond.wait(timeout=_IDLE_FALLBACK_S)
+                        trace.complete("idle", "scheduler", t0,
+                                       worker=self.index)
+                    else:
+                        sched._idle_cond.wait(timeout=_IDLE_FALLBACK_S)
+                sched._idle_workers -= 1
 
     def _next_task(self) -> Any:
         # Own deque first (LIFO), then the shared inbox, then steal (FIFO).
@@ -98,16 +133,24 @@ class _Worker(threading.Thread):
                 continue
             with self.sched._stats_lock:
                 self.sched.stats.stolen += 1
+            if trace.TRACING:
+                trace.instant("steal", "scheduler",
+                              thief=self.index, victim=victim.index)
             return task
         return None
 
     def _execute(self, task: Callable[[], None]) -> None:
         sched = self.sched
+        t0 = time.perf_counter() if trace.TRACING else 0.0
         try:
             task()
         except BaseException as exc:  # tasks must not kill workers
             sched._record_error(exc)
         finally:
+            if trace.TRACING:
+                trace.default_recorder().complete(
+                    getattr(task, "__name__", "task"), "task",
+                    t0, time.perf_counter(), worker=self.index)
             with sched._stats_lock:
                 sched.stats.executed += 1
                 sched.stats.per_worker[self.index] += 1
@@ -144,27 +187,41 @@ class WorkStealingScheduler:
         self._idle_cond = threading.Condition()
         self._idle_workers = 0
         self._pending = 0
+        self._wake_seq = 0
         self._errors: list[BaseException] = []
-        self._shutdown = False
+        self._shutdown = False   # post() rejects from here on
+        self._stopped = False    # sentinels enqueued, workers exiting
         for w in self._workers:
             w.start()
 
     # -- scheduling --------------------------------------------------------
 
     def post(self, task: Callable[[], None]) -> None:
-        """Fire-and-forget a thunk. Current-worker tasks go on the local deque."""
-        if self._shutdown:
-            raise RuntimeError("scheduler is shut down")
-        with self._stats_lock:
-            self.stats.posted += 1
+        """Fire-and-forget a thunk. Current-worker tasks go on the local deque.
+
+        The shutdown check happens under ``_idle_cond`` — atomically with
+        :meth:`shutdown` flipping the flag — so a post either lands before
+        the drain (and is guaranteed to execute) or raises ``RuntimeError``.
+        Tasks posted *by a worker of this scheduler* while the drain is in
+        progress are still accepted (continuations spawned by draining
+        tasks must be allowed to run).
+        """
+        worker = getattr(_TLS, "worker", None)
+        local = worker is not None and worker.sched is self
         with self._idle_cond:
+            if self._shutdown and not (local and not self._stopped):
+                with self._stats_lock:
+                    self.stats.rejected += 1
+                raise RuntimeError("scheduler is shut down")
             self._pending += 1
-            worker = getattr(_TLS, "worker", None)
-            if worker is not None and worker.sched is self:
+            self._wake_seq += 1
+            if local:
                 worker.deque.append(task)
             else:
                 self._inbox.append(task)
             self._idle_cond.notify()
+        with self._stats_lock:
+            self.stats.posted += 1
 
     def submit(self, fn: Callable[..., Any], *args: Any) -> Future:
         """Schedule ``fn(*args)``; returns a future for its result."""
@@ -178,14 +235,19 @@ class WorkStealingScheduler:
             return self._idle_cond.wait_for(lambda: self._pending == 0, timeout)
 
     def shutdown(self) -> None:
-        if self._shutdown:
-            return
-        self.wait_idle()
-        self._shutdown = True
-        for _ in self._workers:
-            self._inbox.append(_SHUTDOWN)
         with self._idle_cond:
-            self._idle_cond.notify_all()
+            already = self._shutdown
+            self._shutdown = True
+        if not already:
+            # drain everything accepted before the flag flipped (plus any
+            # continuations draining tasks post), then stop the workers
+            self.wait_idle()
+            with self._idle_cond:
+                self._stopped = True
+                for _ in self._workers:
+                    self._inbox.append(_SHUTDOWN)
+                self._wake_seq += 1
+                self._idle_cond.notify_all()
         for w in self._workers:
             # _SHUTDOWN sentinels are consumed via the shared inbox
             w.join(timeout=5.0)
@@ -203,6 +265,32 @@ class WorkStealingScheduler:
     @property
     def n_workers(self) -> int:
         return len(self._workers)
+
+    # -- diagnostics -------------------------------------------------------
+
+    def publish_counters(self, registry: CounterRegistry | None = None
+                         ) -> None:
+        """Publish ``/threads/...`` gauges (APEX-style) into ``registry``.
+
+        Idempotent (gauges, not increments), so it may be called at any
+        cadence; the profile report calls it once after a run.
+        """
+        registry = registry or default_registry()
+        with self._stats_lock:
+            snap = self.stats.snapshot()
+        registry.set_gauge("/threads/executed", float(snap["executed"]))
+        registry.set_gauge("/threads/posted", float(snap["posted"]))
+        registry.set_gauge("/threads/stolen", float(snap["stolen"]))
+        registry.set_gauge("/threads/rejected", float(snap["rejected"]))
+        registry.set_gauge("/threads/idle-sleeps", float(snap["idle_sleeps"]))
+        denom = snap["executed"] + snap["idle_sleeps"]
+        registry.set_gauge("/threads/idle-rate",
+                           snap["idle_sleeps"] / denom if denom else 0.0)
+        registry.set_gauge("/threads/steal-rate",
+                           snap["stolen"] / snap["executed"]
+                           if snap["executed"] else 0.0)
+        for i, n in enumerate(snap["per_worker"]):
+            registry.set_gauge(f"/threads/worker/{i}/executed", float(n))
 
     def __enter__(self) -> "WorkStealingScheduler":
         return self

@@ -35,6 +35,7 @@ from ..analysis.flops import (MONOPOLE_KERNEL_FLOPS, MULTIPOLE_KERNEL_FLOPS,
                               OTHER_FLOPS_PER_SUBGRID)
 from ..network.parcelport import Parcelport
 from ..network.topology import DragonflyTopology
+from ..runtime.counters import CounterRegistry
 from .machine import NodeSpec
 from .taskgraph import WorkloadProfile
 
@@ -75,9 +76,14 @@ class StepModel:
                  msgs_per_pair: int = MSGS_PER_PAIR_PER_STEP,
                  network_parallelism: float = NETWORK_PARALLELISM,
                  overlap: float = OVERLAP,
-                 starvation_knee: float = GPU_STARVATION_KNEE):
+                 starvation_knee: float = GPU_STARVATION_KNEE,
+                 registry: CounterRegistry | None = None):
         self.profile = profile
         self.node = node
+        #: optional APEX-style counter sink; every step_time() publishes
+        #: /simulator/step/... gauges into it (per-message cost components
+        #: are tallied by the parcelport module itself)
+        self.registry = registry
         self.gpu_duty = gpu_duty
         self.msgs_per_pair = msgs_per_pair
         self.network_parallelism = network_parallelism
@@ -144,8 +150,10 @@ class StepModel:
         t_comp = self._compute_times(owner, n_nodes)
 
         if n_nodes == 1:
-            return StepResult(1, float(t_comp[0]), float(t_comp[0]), 0.0,
-                              profile.n_subgrids, 0)
+            result = StepResult(1, float(t_comp[0]), float(t_comp[0]), 0.0,
+                                profile.n_subgrids, 0)
+            self._publish(result, port)
+            return result
 
         msgs, byts, pair_ranks, pair_counts = profile.remote_traffic(owner)
         per_pair = self.msgs_per_pair / 2.0   # remote_traffic counts both ends
@@ -188,9 +196,25 @@ class StepModel:
 
         collective = 2.0 * np.log2(max(n_nodes, 2)) * (port.latency + 3e-6)
         t_step = float(t_step_nodes.max() + collective)
-        return StepResult(
+        result = StepResult(
             n_nodes=n_nodes, t_step=t_step,
             t_compute_max=float(t_comp.max()),
             t_comm_cpu_max=float(t_comm_cpu.max()),
             subgrids=profile.n_subgrids,
             total_messages=int(msgs.sum()))
+        self._publish(result, port)
+        return result
+
+    def _publish(self, result: StepResult, port: Parcelport) -> None:
+        if self.registry is None:
+            return
+        r = self.registry
+        r.increment("/simulator/steps-evaluated")
+        prefix = f"/simulator/step/{port.name}"
+        r.set_gauge(f"{prefix}/n-nodes", float(result.n_nodes))
+        r.set_gauge(f"{prefix}/t-step", result.t_step)
+        r.set_gauge(f"{prefix}/t-compute-max", result.t_compute_max)
+        r.set_gauge(f"{prefix}/t-comm-cpu-max", result.t_comm_cpu_max)
+        r.set_gauge(f"{prefix}/messages", float(result.total_messages))
+        r.set_gauge(f"{prefix}/subgrids-per-second",
+                    result.subgrids_per_second)

@@ -98,6 +98,52 @@ class TestMessageCost:
         assert a.total < b.total
 
 
+class TestSharedEagerConstant:
+    def test_cost_model_and_serializer_share_the_threshold(self):
+        """The eager/rendezvous boundary must be one constant: the cost
+        model (network) and the parcel serializer (runtime) can never
+        disagree."""
+        from repro.network import parcelport
+        from repro.runtime.parcel import EAGER_THRESHOLD
+        assert parcelport.EAGER_BYTES is EAGER_THRESHOLD
+        assert EAGER_BYTES == EAGER_THRESHOLD
+
+
+class TestPortStats:
+    def test_message_cost_tallies_components(self):
+        from repro.network import parcelport
+        parcelport.reset_port_stats()
+        MPI.message_cost(100)                 # eager
+        MPI.message_cost(EAGER_BYTES + 100)   # rendezvous
+        LF.message_cost(EAGER_BYTES + 100)    # one-sided RMA
+        mpi = parcelport.port_stats("mpi").snapshot()
+        lf = parcelport.port_stats("libfabric").snapshot()
+        assert mpi["messages"] == 2 and lf["messages"] == 1
+        assert mpi["eager"] == 1 and mpi["rendezvous"] == 1 and mpi["rma"] == 0
+        assert lf["eager"] == 0 and lf["rendezvous"] == 0 and lf["rma"] == 1
+        assert mpi["sender_cpu"] > 0 and mpi["wire"] > 0 \
+            and mpi["receiver_cpu"] > 0
+
+    def test_publish_counters_into_registry(self):
+        from repro.network import parcelport
+        from repro.runtime import CounterRegistry
+        parcelport.reset_port_stats()
+        MPI.message_cost(10)
+        MPI.message_cost(EAGER_BYTES * 2)
+        reg = CounterRegistry()
+        parcelport.publish_counters(reg)
+        assert reg.value("/parcels/mpi/messages") == 2.0
+        assert reg.value("/parcels/mpi/eager-fraction") == pytest.approx(0.5)
+        assert reg.value("/parcels/mpi/rendezvous") == 1.0
+
+    def test_reset(self):
+        from repro.network import parcelport
+        parcelport.reset_port_stats()
+        LF.message_cost(1)
+        parcelport.reset_port_stats()
+        assert parcelport.port_stats("libfabric").messages == 0
+
+
 class TestTopology:
     def test_zero_hops_to_self(self):
         topo = DragonflyTopology(100)

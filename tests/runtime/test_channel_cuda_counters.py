@@ -81,6 +81,38 @@ class TestChannel:
         threading.Timer(0.01, ch.set, args=("t", 0)).start()
         assert fut.get(timeout=2.0) == "t"
 
+    def test_receives_posted_generations_ahead_of_sends(self):
+        """The Sec. 5.2 contract: a receiver may post gets N timesteps
+        ahead, sends arrive later in arbitrary order from another thread,
+        and every future matches its generation."""
+        import random
+
+        ch = Channel("halo-xp")
+        n = 64
+        futs = [ch.get(g) for g in range(n)]       # all receives first
+        assert not any(f.is_ready() for f in futs)
+        assert ch.pending_generations() == list(range(n))
+
+        order = list(range(n))
+        random.Random(3).shuffle(order)
+
+        def sender():
+            for g in order:
+                ch.set(g * 7, g)
+
+        t = threading.Thread(target=sender)
+        t.start()
+        t.join(timeout=5.0)
+        assert [f.get(timeout=2.0) for f in futs] == [g * 7 for g in range(n)]
+
+        # and the converse: a fast sender runs generations ahead of the
+        # receiver, values buffer until fetched
+        for g in range(n, n + 8):
+            ch.set(g, g)
+        assert ch.buffered_generations() == list(range(n, n + 8))
+        assert [ch.get(g).get() for g in range(n, n + 8)] == \
+            list(range(n, n + 8))
+
 
 class TestCudaSim:
     def test_enqueue_returns_result(self):
@@ -165,6 +197,69 @@ class TestCudaSim:
             CudaDevice(n_streams=0)
         with pytest.raises(ValueError):
             StreamPool([])
+
+
+class TestStreamPoolReservation:
+    """Regression: try_acquire() must *reserve* the stream it returns, so
+    concurrent acquirers can never be handed the same stream before either
+    has enqueued anything."""
+
+    def test_concurrent_acquire_never_duplicates(self):
+        with CudaDevice(n_streams=4, n_workers=1) as dev:
+            pool = StreamPool([dev])
+            n_threads = 8
+            barrier = threading.Barrier(n_threads, timeout=5.0)
+            got = []
+            lock = threading.Lock()
+
+            def acquire():
+                barrier.wait()
+                s = pool.try_acquire()
+                with lock:
+                    got.append(s)
+
+            threads = [threading.Thread(target=acquire)
+                       for _ in range(n_threads)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=5.0)
+            streams = [s for s in got if s is not None]
+            # exactly the 4 streams once each; the other 4 callers got None
+            assert len(streams) == 4
+            assert len(set(id(s) for s in streams)) == len(streams)
+            for s in streams:
+                s.release()
+
+    def test_acquired_stream_reports_busy_until_released(self):
+        with CudaDevice(n_streams=1, n_workers=1) as dev:
+            pool = StreamPool([dev])
+            s = pool.try_acquire()
+            assert s is not None and s.busy()
+            assert pool.try_acquire() is None
+            s.release()
+            assert not s.busy()
+            assert pool.try_acquire() is s
+
+    def test_enqueue_consumes_reservation(self):
+        with CudaDevice(n_streams=1, n_workers=1) as dev:
+            pool = StreamPool([dev])
+            s = pool.try_acquire()
+            release = threading.Event()
+            fut = s.enqueue(release.wait, 5.0)
+            assert s.busy()                     # in flight, not reserved
+            assert pool.try_acquire() is None
+            release.set()
+            fut.get(timeout=5.0)
+            dev.synchronize()
+            again = pool.try_acquire()          # recycled once drained
+            assert again is s
+            again.release()
+
+    def test_direct_enqueue_unaffected_by_reservations(self):
+        """Streams used without the pool (tests, record_event) still work."""
+        with CudaDevice(n_streams=2, n_workers=1) as dev:
+            assert dev.streams[0].enqueue(lambda: 11).get(timeout=5.0) == 11
 
 
 class TestCounters:
