@@ -15,7 +15,8 @@ from .scenario import (sod_tube, sedov_blast, equilibrium_star,
                        v1309_binary, V1309_MASS_RATIO)
 from .radiation import (RadiationField, RadiationOptions, m1_closure,
                         radiation_rhs, couple_matter, radiation_dt)
-from .stepper import ConservationMonitor, ConservationRecord, evolve
+from .stepper import (ConservationMonitor, ConservationRecord, evolve,
+                      FaultRecoveryExhausted)
 
 __all__ = [
     "SubGrid", "RHO", "SX", "SY", "SZ", "EGAS", "TAU", "PASSIVE0",
@@ -31,6 +32,7 @@ __all__ = [
     "sod_tube", "sedov_blast", "equilibrium_star", "v1309_binary",
     "V1309_MASS_RATIO",
     "ConservationMonitor", "ConservationRecord", "evolve",
+    "FaultRecoveryExhausted",
     "RadiationField", "RadiationOptions", "m1_closure", "radiation_rhs",
     "couple_matter", "radiation_dt",
 ]

@@ -13,9 +13,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..resilience.faults import InjectedFault
 from .mesh import Mesh
 
-__all__ = ["ConservationRecord", "ConservationMonitor", "evolve"]
+__all__ = ["ConservationRecord", "ConservationMonitor", "evolve",
+           "FaultRecoveryExhausted"]
+
+
+class FaultRecoveryExhausted(RuntimeError):
+    """Checkpoint restores exceeded ``max_restores`` during :func:`evolve`."""
 
 
 @dataclass(frozen=True)
@@ -78,17 +84,52 @@ class ConservationMonitor:
 
 def evolve(mesh: Mesh, t_end: float, max_steps: int = 10_000,
            monitor: ConservationMonitor | None = None,
-           callback=None) -> ConservationMonitor:
-    """Advance ``mesh`` to ``t_end`` with CFL-limited steps."""
+           callback=None, checkpoint_interval: int | None = None,
+           checkpoints=None, fault_injector=None,
+           max_restores: int = 8) -> ConservationMonitor:
+    """Advance ``mesh`` to ``t_end`` with CFL-limited steps.
+
+    With ``checkpoint_interval`` (steps) or an explicit ``checkpoints``
+    manager (:class:`repro.resilience.checkpoint.CheckpointManager`), the
+    mesh state is snapshotted periodically and any
+    :class:`~repro.resilience.faults.InjectedFault` raised mid-step — by
+    ``fault_injector.maybe_step_fault`` or from within the step itself —
+    rolls back to the last checkpoint and replays.  Restores are
+    bit-exact, so a faulty run reproduces the fault-free conservation
+    drifts (Sec. 4.2/4.3) step for step.  More than ``max_restores``
+    rollbacks raises :class:`FaultRecoveryExhausted` — a stuck run fails
+    loudly rather than looping forever.
+    """
     monitor = monitor or ConservationMonitor()
     if not monitor.records:
         monitor.sample(mesh)
+    manager = checkpoints
+    if manager is None and checkpoint_interval is not None:
+        from ..resilience.checkpoint import CheckpointManager
+        manager = CheckpointManager(interval=checkpoint_interval)
+    if manager is not None:
+        manager.save(mesh, monitor)
+    restores = 0
     while mesh.time < t_end and mesh.steps < max_steps:
-        dt = min(mesh.compute_dt(), t_end - mesh.time)
-        if not np.isfinite(dt) or dt <= 0:
-            raise RuntimeError(f"invalid timestep {dt}")
-        mesh.step(dt)
+        try:
+            if fault_injector is not None:
+                fault_injector.maybe_step_fault(mesh.steps)
+            dt = min(mesh.compute_dt(), t_end - mesh.time)
+            if not np.isfinite(dt) or dt <= 0:
+                raise RuntimeError(f"invalid timestep {dt}")
+            mesh.step(dt)
+        except InjectedFault:
+            if manager is None:
+                raise
+            restores += 1
+            if restores > max_restores:
+                raise FaultRecoveryExhausted(
+                    f"gave up after {max_restores} checkpoint restores")
+            manager.restore_latest(mesh, monitor)
+            continue
         monitor.sample(mesh)
         if callback is not None:
             callback(mesh)
+        if manager is not None:
+            manager.maybe_save(mesh, monitor)
     return monitor

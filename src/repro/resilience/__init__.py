@@ -1,0 +1,33 @@
+"""Fault injection and recovery for the AMT runtime (see DESIGN.md).
+
+The paper's runs assume a fault-free Piz Daint; the AMT follow-up survey
+(arXiv:2412.15518) calls fault tolerance *the* open challenge for exascale
+AMR astrophysics.  This package supplies both halves of the story:
+
+* the adversary — :class:`FaultInjector`, a seeded source of message
+  loss/delay, transient action exceptions, step faults and scheduled
+  locality failures;
+* the defence — :class:`ResilientParcelSender` (ack/timeout/retry with
+  exponential backoff over the parcel layer),
+  :meth:`repro.runtime.agas.AgasRuntime.fail_locality` (component
+  migration / invalidation on node death) and :class:`CheckpointManager`
+  (periodic mesh snapshots consumed by
+  :func:`repro.core.stepper.evolve`).
+
+Everything publishes ``/resilience/...`` counters into the registry from
+:mod:`repro.runtime.counters` and emits trace spans when tracing is on.
+"""
+
+from .faults import (FaultInjector, InjectedFault, SimulationFault,
+                     TransientActionFault)
+from .retry import (DEFAULT_RETRY_POLICY, NETWORK_RETRY_POLICY,
+                    ResilientParcelSender, RetryBudgetExhausted, RetryPolicy)
+from .checkpoint import CheckpointError, CheckpointManager, MeshCheckpoint
+
+__all__ = [
+    "FaultInjector", "InjectedFault", "SimulationFault",
+    "TransientActionFault",
+    "RetryPolicy", "RetryBudgetExhausted", "ResilientParcelSender",
+    "DEFAULT_RETRY_POLICY", "NETWORK_RETRY_POLICY",
+    "CheckpointError", "CheckpointManager", "MeshCheckpoint",
+]

@@ -1,0 +1,127 @@
+"""Periodic checkpoint/restore of mesh state.
+
+The conservation results of Sec. 4.2/4.3 (mass and angular momentum to
+machine precision) are only worth having if a fault mid-run does not force
+a restart from t=0.  A :class:`CheckpointManager` snapshots the *complete*
+evolution state of a mesh — the conserved-variable array ``U`` (ghosts
+included), the simulation time and the step counter, plus the length of
+the conservation monitor's record list — every ``interval`` steps.  A
+restore copies the arrays back bit-for-bit and truncates the monitor, so a
+run that fails and restores produces a state stream *identical* to the
+fault-free run: same dt sequence, same floating-point operations, same
+drifts.  That bitwise-replay property is what the resilience acceptance
+test asserts.
+
+Checkpoints live in memory (``keep`` most recent are retained; the model
+has no node-local disk to lose).  Saves and restores are tallied under
+``/resilience/checkpoint/...`` and emit trace instants.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..runtime import trace
+from ..runtime.counters import CounterRegistry, default_registry
+
+__all__ = ["CheckpointError", "MeshCheckpoint", "CheckpointManager"]
+
+
+class CheckpointError(RuntimeError):
+    """Raised when a restore is requested but no checkpoint exists."""
+
+
+@dataclass(frozen=True)
+class MeshCheckpoint:
+    """A frozen snapshot of a mesh's evolution state."""
+
+    step: int
+    time: float
+    U: np.ndarray
+    monitor_len: int
+
+    @property
+    def nbytes(self) -> int:
+        return self.U.nbytes
+
+
+class CheckpointManager:
+    """Keeps the ``keep`` most recent snapshots of one mesh's state.
+
+    Works with any object exposing ``U`` (ndarray), ``time`` (float) and
+    ``steps`` (int) — i.e. :class:`repro.core.mesh.Mesh`; the optional
+    monitor argument is a
+    :class:`repro.core.stepper.ConservationMonitor` whose record list is
+    truncated on restore so post-restore samples line up with the replay.
+    """
+
+    def __init__(self, interval: int = 10, keep: int = 2,
+                 registry: CounterRegistry | None = None):
+        if interval < 1:
+            raise ValueError("checkpoint interval must be >= 1")
+        if keep < 1:
+            raise ValueError("must keep at least one checkpoint")
+        self.interval = interval
+        self.keep = keep
+        self.registry = registry or default_registry()
+        self._lock = threading.Lock()
+        self._checkpoints: list[MeshCheckpoint] = []
+        self.saves = 0
+        self.restores = 0
+
+    # -- saving -------------------------------------------------------------
+
+    def save(self, mesh, monitor=None) -> MeshCheckpoint:
+        """Snapshot ``mesh`` now (regardless of the interval)."""
+        cp = MeshCheckpoint(
+            step=mesh.steps, time=mesh.time, U=mesh.U.copy(),
+            monitor_len=len(monitor.records) if monitor is not None else 0)
+        with self._lock:
+            self._checkpoints.append(cp)
+            del self._checkpoints[:-self.keep]
+            self.saves += 1
+        r = self.registry
+        r.increment("/resilience/checkpoint/saves")
+        r.increment("/resilience/checkpoint/bytes-saved", float(cp.nbytes))
+        trace.instant("checkpoint-save", "resilience", step=cp.step)
+        return cp
+
+    def maybe_save(self, mesh, monitor=None) -> MeshCheckpoint | None:
+        """Snapshot if ``interval`` steps have passed since the last one."""
+        with self._lock:
+            last = self._checkpoints[-1].step if self._checkpoints else None
+        if last is not None and mesh.steps - last < self.interval:
+            return None
+        return self.save(mesh, monitor)
+
+    # -- restoring ----------------------------------------------------------
+
+    def restore_latest(self, mesh, monitor=None) -> MeshCheckpoint:
+        """Roll ``mesh`` (and ``monitor``) back to the newest checkpoint."""
+        with self._lock:
+            if not self._checkpoints:
+                raise CheckpointError("no checkpoint to restore from")
+            cp = self._checkpoints[-1]
+            self.restores += 1
+        mesh.U[...] = cp.U
+        mesh.time = cp.time
+        mesh.steps = cp.step
+        if monitor is not None:
+            del monitor.records[cp.monitor_len:]
+        self.registry.increment("/resilience/checkpoint/restores")
+        trace.instant("checkpoint-restore", "resilience", step=cp.step)
+        return cp
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def latest(self) -> MeshCheckpoint | None:
+        with self._lock:
+            return self._checkpoints[-1] if self._checkpoints else None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._checkpoints)

@@ -1,0 +1,193 @@
+"""Deterministic fault injection for the runtime and network model.
+
+The paper's production runs (Sec. 6.2/6.3, up to 5400 Piz Daint nodes)
+assume a fault-free machine; the follow-up AMT survey (arXiv:2412.15518)
+names fault tolerance as the open challenge for scaling AMR astrophysics
+codes to exascale.  This module is the *adversary* half of the resilience
+story: a :class:`FaultInjector` that, driven by a seeded RNG, injects
+
+* **message loss** — a parcel send that never produces an ack
+  (:meth:`FaultInjector.drop_message`);
+* **message delay / reorder** — an ack that arrives late; delays past the
+  retry policy's ack timeout are indistinguishable from loss, shorter
+  delays let later parcels overtake the slow one
+  (:meth:`FaultInjector.message_delay`);
+* **transient action exceptions** — a remotely-invoked action that fails
+  once and would succeed on retry (:meth:`FaultInjector.maybe_action_fault`,
+  consulted by :class:`repro.runtime.parcel.ParcelHandler`);
+* **step faults** — a failure in the middle of a timestep loop, recovered
+  from checkpoint by :func:`repro.core.stepper.evolve`
+  (:meth:`FaultInjector.maybe_step_fault`);
+* **whole-locality failure** — handled by
+  :meth:`repro.runtime.agas.AgasRuntime.fail_locality`; the injector only
+  schedules *when* (:meth:`FaultInjector.locality_failure_due`).
+
+Every draw comes from one ``random.Random(seed)`` stream behind a lock, so
+a fixed seed reproduces the exact same fault schedule — the property the
+deterministic regression tests and the "drift identical to the fault-free
+run" acceptance check rely on.  Optional budgets (``max_losses``,
+``max_action_faults``, ``max_step_faults``) make every fault *transient*:
+once a budget is exhausted the injector stops firing that fault class, so
+a retry loop with a finite budget is guaranteed to make progress.
+
+All injected faults are tallied under ``/resilience/injected/...`` in the
+counter registry.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from ..runtime.counters import CounterRegistry, default_registry
+
+__all__ = [
+    "InjectedFault", "TransientActionFault", "SimulationFault",
+    "FaultInjector",
+]
+
+
+class InjectedFault(RuntimeError):
+    """Base class for all injected failures (catch this to recover)."""
+
+
+class TransientActionFault(InjectedFault):
+    """A remotely-invoked action failed transiently; a retry may succeed."""
+
+
+class SimulationFault(InjectedFault):
+    """A failure mid-timestep; recoverable from the last checkpoint."""
+
+
+class FaultInjector:
+    """Seeded source of message loss, delays, action and step faults.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed; the full fault schedule is a pure function of it.
+    loss_rate:
+        Probability that a parcel send is dropped (no ack).
+    delay_rate / max_delay:
+        Probability that a delivered parcel is delayed, and the maximum
+        injected delay in seconds (uniform on ``[0, max_delay]``).
+    action_fault_rate:
+        Probability that a delivered parcel's action raises
+        :class:`TransientActionFault` instead of running.
+    step_fault_rate:
+        Probability that :meth:`maybe_step_fault` raises on a given step.
+    fail_at_steps:
+        Explicit step numbers at which :meth:`maybe_step_fault` raises
+        (each fires once) — deterministic scheduling for tests.
+    fail_locality_at:
+        ``(step, locality)``: :meth:`locality_failure_due` returns the
+        locality once when asked about that step.
+    max_losses / max_action_faults / max_step_faults:
+        Budgets after which that fault class stops firing (``None`` means
+        unlimited).  Finite budgets make faults transient by construction.
+    """
+
+    def __init__(self, seed: int = 0, *,
+                 loss_rate: float = 0.0,
+                 delay_rate: float = 0.0,
+                 max_delay: float = 0.0,
+                 action_fault_rate: float = 0.0,
+                 step_fault_rate: float = 0.0,
+                 fail_at_steps: tuple[int, ...] = (),
+                 fail_locality_at: tuple[int, int] | None = None,
+                 max_losses: int | None = None,
+                 max_action_faults: int | None = None,
+                 max_step_faults: int | None = None,
+                 registry: CounterRegistry | None = None):
+        for name, rate in (("loss_rate", loss_rate),
+                           ("delay_rate", delay_rate),
+                           ("action_fault_rate", action_fault_rate),
+                           ("step_fault_rate", step_fault_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        self.seed = seed
+        self.loss_rate = loss_rate
+        self.delay_rate = delay_rate
+        self.max_delay = max_delay
+        self.action_fault_rate = action_fault_rate
+        self.step_fault_rate = step_fault_rate
+        self._fail_at_steps = set(fail_at_steps)
+        self._fail_locality_at = fail_locality_at
+        self._budgets = {"loss": max_losses,
+                         "action": max_action_faults,
+                         "step": max_step_faults}
+        self.registry = registry or default_registry()
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self.injected = {"loss": 0, "delay": 0, "action": 0, "step": 0,
+                         "locality": 0}
+
+    # -- internals ----------------------------------------------------------
+
+    def _fire(self, kind: str, rate: float) -> bool:
+        """One Bernoulli draw for ``kind``, respecting its budget."""
+        budget = self._budgets.get(kind)
+        if budget is not None and self.injected[kind] >= budget:
+            return False
+        if rate <= 0.0 or self._rng.random() >= rate:
+            return False
+        self.injected[kind] += 1
+        self.registry.increment(f"/resilience/injected/{kind}")
+        return True
+
+    # -- message path -------------------------------------------------------
+
+    def drop_message(self) -> bool:
+        """True when the current parcel send should be lost (no ack)."""
+        with self._lock:
+            return self._fire("loss", self.loss_rate)
+
+    def message_delay(self) -> float:
+        """Injected delivery delay in seconds for the current send (0 = none)."""
+        with self._lock:
+            if not self._fire("delay", self.delay_rate):
+                return 0.0
+            return self._rng.random() * self.max_delay
+
+    def maybe_action_fault(self, parcel=None) -> TransientActionFault | None:
+        """A transient exception for this parcel's action, or ``None``.
+
+        Consulted by :class:`repro.runtime.parcel.ParcelHandler.deliver`;
+        the returned exception is surfaced through the action's future so
+        a :class:`~repro.resilience.retry.ResilientParcelSender` can retry.
+        """
+        with self._lock:
+            if not self._fire("action", self.action_fault_rate):
+                return None
+        what = f"parcel #{parcel.seq}" if parcel is not None else "action"
+        return TransientActionFault(f"injected transient fault in {what}")
+
+    # -- timestep path ------------------------------------------------------
+
+    def maybe_step_fault(self, step: int) -> None:
+        """Raise :class:`SimulationFault` if a fault is due at ``step``."""
+        with self._lock:
+            if step in self._fail_at_steps:
+                self._fail_at_steps.discard(step)
+                self.injected["step"] += 1
+                self.registry.increment("/resilience/injected/step")
+            elif not self._fire("step", self.step_fault_rate):
+                return
+        raise SimulationFault(f"injected failure at step {step}")
+
+    def locality_failure_due(self, step: int) -> int | None:
+        """Locality scheduled to die at ``step`` (fires at most once)."""
+        with self._lock:
+            due = self._fail_locality_at
+            if due is None or step < due[0]:
+                return None
+            self._fail_locality_at = None
+            self.injected["locality"] += 1
+            self.registry.increment("/resilience/injected/locality")
+            return due[1]
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self.injected)

@@ -10,7 +10,7 @@ from .future import (Future, Promise, FutureError, make_ready_future,
                      make_exceptional_future, when_all, when_any, dataflow,
                      async_execute)
 from .scheduler import WorkStealingScheduler, TaskStats
-from .agas import AgasRuntime, Component, Gid, AgasError
+from .agas import AgasRuntime, Component, Gid, AgasError, LocalityFailed
 from .parcel import Parcel, ParcelHandler, EAGER_THRESHOLD, serialized_size
 from .channel import Channel, ChannelClosed
 from .cuda import (CudaDevice, CudaStream, StreamPool, LaunchPolicy,
@@ -22,7 +22,7 @@ __all__ = [
     "make_exceptional_future", "when_all", "when_any", "dataflow",
     "async_execute",
     "WorkStealingScheduler", "TaskStats",
-    "AgasRuntime", "Component", "Gid", "AgasError",
+    "AgasRuntime", "Component", "Gid", "AgasError", "LocalityFailed",
     "Parcel", "ParcelHandler", "EAGER_THRESHOLD", "serialized_size",
     "Channel", "ChannelClosed",
     "CudaDevice", "CudaStream", "StreamPool", "LaunchPolicy",

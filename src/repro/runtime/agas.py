@@ -21,13 +21,23 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from .future import Future, make_ready_future
+from . import trace
+from .counters import CounterRegistry, default_registry
+from .future import Future, make_exceptional_future, make_ready_future
 
-__all__ = ["Gid", "Component", "AgasRuntime", "AgasError"]
+__all__ = ["Gid", "Component", "AgasRuntime", "AgasError", "LocalityFailed"]
 
 
 class AgasError(RuntimeError):
     """Raised for unknown GIDs or invalid migrations."""
+
+
+class LocalityFailed(AgasError):
+    """The locality hosting (or targeted for) a component has failed.
+
+    Distinct from a plain :class:`AgasError` so resilience layers can tell
+    "this GID never existed" apart from "this GID died with its node".
+    """
 
 
 @dataclass(frozen=True, order=True)
@@ -46,7 +56,15 @@ class Component:
 
     Subclasses expose *actions* — plain methods invoked remotely via
     :meth:`AgasRuntime.apply` / :meth:`AgasRuntime.async_action`.
+
+    ``migratable`` controls locality-failure handling: migratable
+    components (the default — Sec. 5.2's grid cells move freely) are
+    evacuated to a surviving locality when their node dies; pinned ones
+    (``migratable = False``) are lost and their GIDs invalidated.
     """
+
+    #: may this component be evacuated off a failed locality?
+    migratable: bool = True
 
     def __init__(self) -> None:
         self.gid: Gid | None = None
@@ -65,25 +83,34 @@ class AgasRuntime:
     executor:
         Optional thunk executor (e.g. ``WorkStealingScheduler.post``) used
         to run remotely-invoked actions asynchronously.
+    registry:
+        Counter sink for ``/agas/...`` and ``/resilience/agas/...``
+        counters (default: the process-wide registry).
     """
 
     def __init__(self, n_localities: int = 1,
-                 executor: Callable[[Callable[[], None]], None] | None = None):
+                 executor: Callable[[Callable[[], None]], None] | None = None,
+                 registry: CounterRegistry | None = None):
         if n_localities < 1:
             raise ValueError("need at least one locality")
         self.n_localities = n_localities
         self._executor = executor
+        self.registry = registry or default_registry()
         self._lock = threading.Lock()
         self._seq = itertools.count()
         self._objects: dict[Gid, Component] = {}
         self._home: dict[Gid, int] = {}
         self._migrations = 0
+        self._failed: set[int] = set()
+        #: GIDs invalidated by a locality failure -> the locality that died
+        self._lost: dict[Gid, int] = {}
 
     # -- registration -------------------------------------------------------
 
     def register(self, component: Component, locality: int = 0) -> Gid:
         """Give ``component`` a fresh GID homed at ``locality``."""
         self._check_locality(locality)
+        self._check_alive(locality)
         with self._lock:
             gid = Gid(locality, next(self._seq))
             self._objects[gid] = component
@@ -106,6 +133,10 @@ class AgasRuntime:
             try:
                 return self._objects[gid], self._home[gid]
             except KeyError:
+                dead = self._lost.get(gid)
+                if dead is not None:
+                    raise LocalityFailed(
+                        f"{gid} was lost when locality {dead} failed") from None
                 raise AgasError(f"unknown gid {gid}") from None
 
     def locality_of(self, gid: Gid) -> int:
@@ -121,8 +152,13 @@ class AgasRuntime:
     def migrate(self, gid: Gid, new_locality: int) -> None:
         """Move a component; its GID remains valid (the AGAS promise)."""
         self._check_locality(new_locality)
+        self._check_alive(new_locality)
         with self._lock:
             if gid not in self._home:
+                if gid in self._lost:
+                    raise LocalityFailed(
+                        f"{gid} was lost when locality "
+                        f"{self._lost[gid]} failed")
                 raise AgasError(f"unknown gid {gid}")
             old = self._home[gid]
             self._home[gid] = new_locality
@@ -141,24 +177,100 @@ class AgasRuntime:
         """Invoke ``component.method(*args)`` wherever the component lives.
 
         This is the "semantic and syntactic equivalence of local and remote
-        operations" of Sec. 4.1 — callers see a future either way.
+        operations" of Sec. 4.1 — callers see a future either way, and
+        *every* failure mode (unknown GID, missing action, failed locality,
+        exception in the action body) arrives through that future rather
+        than as a synchronous raise.
         """
-        comp, _loc = self.resolve(gid)
+        try:
+            comp, _loc = self.resolve(gid)
+        except AgasError as exc:
+            return make_exceptional_future(exc)
         fn = getattr(comp, method, None)
         if fn is None or not callable(fn):
-            raise AgasError(f"component {gid} has no action {method!r}")
+            return make_exceptional_future(
+                AgasError(f"component {gid} has no action {method!r}"))
         if self._executor is None:
             try:
                 return make_ready_future(fn(*args))
             except BaseException as exc:
-                from .future import make_exceptional_future
                 return make_exceptional_future(exc)
         from .future import async_execute
         return async_execute(fn, *args, executor=self._executor)
 
     def apply(self, gid: Gid, method: str, *args: Any) -> None:
-        """Fire-and-forget action (HPX ``hpx::apply``)."""
-        self.async_action(gid, method, *args)
+        """Fire-and-forget action (HPX ``hpx::apply``).
+
+        Nobody holds the future, so nothing may leak to the caller: any
+        failure is swallowed and tallied under ``/agas/apply-errors``.
+        """
+        def consume(fut: Future) -> None:
+            try:
+                fut.get()
+            except BaseException:
+                self.registry.increment("/agas/apply-errors")
+
+        self.async_action(gid, method, *args).then(consume)
+
+    # -- locality failure ------------------------------------------------------
+
+    def fail_locality(self, locality: int,
+                      evacuate: bool = True) -> dict[str, list[Gid]]:
+        """Kill a locality; evacuate what can move, invalidate the rest.
+
+        Migratable components are re-homed round-robin across the
+        surviving localities (their GIDs stay valid — the AGAS promise
+        outlives the node); pinned components, or everything when no
+        locality survives or ``evacuate`` is false, are *lost*: their GIDs
+        resolve to :class:`LocalityFailed` from now on.  Idempotent.
+        """
+        self._check_locality(locality)
+        moves: list[tuple[Component, int]] = []
+        with self._lock:
+            if locality in self._failed:
+                return {"migrated": [], "lost": []}
+            self._failed.add(locality)
+            survivors = [l for l in range(self.n_localities)
+                         if l not in self._failed]
+            homed = sorted(g for g, loc in self._home.items()
+                           if loc == locality)
+            migrated: list[Gid] = []
+            lost: list[Gid] = []
+            for gid in homed:
+                comp = self._objects[gid]
+                if evacuate and survivors and comp.migratable:
+                    new = survivors[len(migrated) % len(survivors)]
+                    self._home[gid] = new
+                    self._migrations += 1
+                    moves.append((comp, new))
+                    migrated.append(gid)
+                else:
+                    del self._objects[gid]
+                    del self._home[gid]
+                    self._lost[gid] = locality
+                    lost.append(gid)
+        for comp, new in moves:
+            comp.on_migrate(locality, new)
+        self.registry.increment("/resilience/agas/localities-failed")
+        self.registry.increment("/resilience/agas/components-migrated",
+                                len(migrated))
+        self.registry.increment("/resilience/agas/components-lost",
+                                len(lost))
+        trace.instant("locality-failed", "resilience", locality=locality,
+                      migrated=len(migrated), lost=len(lost))
+        return {"migrated": migrated, "lost": lost}
+
+    def recover_locality(self, locality: int) -> None:
+        """Bring a failed locality back (lost GIDs stay lost)."""
+        self._check_locality(locality)
+        with self._lock:
+            self._failed.discard(locality)
+        self.registry.increment("/resilience/agas/localities-recovered")
+
+    @property
+    def failed_localities(self) -> set[int]:
+        with self._lock:
+            return set(self._failed)
 
     # -- helpers ----------------------------------------------------------------
 
@@ -166,3 +278,8 @@ class AgasRuntime:
         if not 0 <= locality < self.n_localities:
             raise AgasError(
                 f"locality {locality} out of range [0, {self.n_localities})")
+
+    def _check_alive(self, locality: int) -> None:
+        with self._lock:
+            if locality in self._failed:
+                raise LocalityFailed(f"locality {locality} has failed")

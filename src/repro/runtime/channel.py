@@ -44,12 +44,21 @@ class Channel(Generic[T]):
         self._next_get = 0
         self._next_set = 0
         self._closed = False
+        # consumed-generation tracking: a contiguous floor (every
+        # generation below it has been matched) plus the sparse set of
+        # matched generations at or above it — bounded for in-order
+        # traffic, exact for out-of-order explicit generations.
+        self._consumed_floor = 0
+        self._consumed: set[int] = set()
 
     def get(self, generation: int | None = None) -> Future:
-        """Future for the value of ``generation`` (default: next in order)."""
+        """Future for the value of ``generation`` (default: next in order).
+
+        After :meth:`close`, generations whose value was already ``set``
+        still drain normally; only unmatched gets raise
+        :class:`ChannelClosed`.
+        """
         with self._lock:
-            if self._closed:
-                raise ChannelClosed(f"channel {self.name!r} is closed")
             if generation is None:
                 generation = self._next_get
                 self._next_get += 1
@@ -57,9 +66,12 @@ class Channel(Generic[T]):
                 self._next_get = max(self._next_get, generation + 1)
             if generation in self._ready:
                 value = self._ready.pop(generation)
+                self._mark_consumed(generation)
                 p = Promise()
                 p.set_value(value)
                 return p.get_future()
+            if self._closed:
+                raise ChannelClosed(f"channel {self.name!r} is closed")
             promise = self._promises.get(generation)
             if promise is None:
                 promise = Promise()
@@ -79,24 +91,41 @@ class Channel(Generic[T]):
             if generation in self._ready:
                 raise ValueError(
                     f"generation {generation} already set on channel {self.name!r}")
+            if (generation < self._consumed_floor
+                    or generation in self._consumed):
+                raise ValueError(
+                    f"generation {generation} already consumed on channel "
+                    f"{self.name!r}; refusing to re-set")
             promise = self._promises.pop(generation, None)
             if promise is None:
                 self._ready[generation] = value
                 return
+            self._mark_consumed(generation)
         promise.set_value(value)
 
     def close(self) -> None:
-        """Close the channel; pending gets receive :class:`ChannelClosed`."""
+        """Close the channel; *unmatched* gets receive :class:`ChannelClosed`.
+
+        Values already ``set`` but not yet fetched stay buffered and drain
+        through later ``get`` calls — a receiver that posts its get after
+        a fast sender's set must not lose halo data on shutdown.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
             pending = list(self._promises.values())
             self._promises.clear()
-            self._ready.clear()
         exc = ChannelClosed(f"channel {self.name!r} closed while waiting")
         for p in pending:
             p.set_exception(exc)
+
+    def _mark_consumed(self, generation: int) -> None:
+        """Record a matched generation (caller holds the lock)."""
+        self._consumed.add(generation)
+        while self._consumed_floor in self._consumed:
+            self._consumed.remove(self._consumed_floor)
+            self._consumed_floor += 1
 
     @property
     def closed(self) -> bool:

@@ -186,6 +186,24 @@ class Future:
         self._on_ready(run)
         return result
 
+    def recover(self, fn: Callable[[BaseException], Any],
+                executor: Callable[[Callable[[], None]], None] | None = None
+                ) -> "Future":
+        """Map an exceptional outcome through ``fn``; values pass through.
+
+        The error-path dual of :meth:`then` — the building block for
+        retry/fallback logic in :mod:`repro.resilience`.
+        """
+        def handler(fut: "Future") -> Any:
+            if fut.has_exception():
+                try:
+                    fut.get()
+                except BaseException as exc:
+                    return fn(exc)
+            return fut.get()
+
+        return self.then(handler, executor=executor)
+
     def _on_ready(self, cb: Callable[["Future"], None]) -> None:
         with self._lock:
             if self._state == _PENDING:

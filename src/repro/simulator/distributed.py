@@ -35,6 +35,7 @@ from ..analysis.flops import (MONOPOLE_KERNEL_FLOPS, MULTIPOLE_KERNEL_FLOPS,
                               OTHER_FLOPS_PER_SUBGRID)
 from ..network.parcelport import Parcelport
 from ..network.topology import DragonflyTopology
+from ..resilience.retry import NETWORK_RETRY_POLICY, RetryPolicy
 from ..runtime.counters import CounterRegistry
 from .machine import NodeSpec
 from .taskgraph import WorkloadProfile
@@ -77,9 +78,19 @@ class StepModel:
                  network_parallelism: float = NETWORK_PARALLELISM,
                  overlap: float = OVERLAP,
                  starvation_knee: float = GPU_STARVATION_KNEE,
-                 registry: CounterRegistry | None = None):
+                 registry: CounterRegistry | None = None,
+                 loss_rate: float = 0.0,
+                 retry_policy: "RetryPolicy | None" = None):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
         self.profile = profile
         self.node = node
+        #: degraded-network model: iid parcel loss recovered by the
+        #: resilience layer; the *expected* retry cost (extra sends on CPU
+        #: and wire, backoff stalls) is charged below so faulty-machine
+        #: scaling curves can be produced alongside the Fig. 2/3 ones
+        self.loss_rate = loss_rate
+        self.retry_policy = retry_policy or NETWORK_RETRY_POLICY
         #: optional APEX-style counter sink; every step_time() publishes
         #: /simulator/step/... gauges into it (per-message cost components
         #: are tallied by the parcelport module itself)
@@ -160,6 +171,16 @@ class StepModel:
         msgs = msgs.astype(np.float64) * per_pair
         byts = byts.astype(np.float64) * per_pair
 
+        # degraded network: every logical message costs E[attempts] physical
+        # sends (budget-capped geometric) plus the expected backoff stall,
+        # which overlaps with compute exactly like wire time does
+        attempts = self.retry_policy.expected_attempts(self.loss_rate)
+        backoff_per_msg = self.retry_policy.expected_backoff(self.loss_rate)
+        t_backoff = msgs * backoff_per_msg
+        logical_msgs = msgs.sum()
+        msgs = msgs * attempts
+        byts = byts * attempts
+
         topo = DragonflyTopology(n_nodes)
         hops = np.fromiter(
             (topo.hops(int(a), int(b)) for a, b in pair_ranks),
@@ -186,7 +207,7 @@ class StepModel:
             # transport CPU time, concentrated on the polling/progress cores
             t_comm_cpu = msgs * (sender + recver) / self.network_parallelism
             # NIC serialization + exposed wire time after overlap
-            t_nic = byts / port.bandwidth + msgs * 0.2e-6
+            t_nic = byts / port.bandwidth + msgs * 0.2e-6 + t_backoff
             t_wire_exposed = np.maximum(
                 0.0, t_nic + wire - self.overlap * (t_comp + t_comm_cpu))
             t_step_nodes = t_comp + t_comm_cpu + t_wire_exposed
@@ -202,15 +223,28 @@ class StepModel:
             t_comm_cpu_max=float(t_comm_cpu.max()),
             subgrids=profile.n_subgrids,
             total_messages=int(msgs.sum()))
-        self._publish(result, port)
+        self._publish(result, port, logical_msgs=float(logical_msgs))
         return result
 
-    def _publish(self, result: StepResult, port: Parcelport) -> None:
+    def _publish(self, result: StepResult, port: Parcelport,
+                 logical_msgs: float = 0.0) -> None:
         if self.registry is None:
             return
         r = self.registry
         r.increment("/simulator/steps-evaluated")
         prefix = f"/simulator/step/{port.name}"
+        if self.loss_rate > 0.0:
+            policy = self.retry_policy
+            r.set_gauge(f"{prefix}/loss-rate", self.loss_rate)
+            r.set_gauge(f"{prefix}/retry-attempts-per-msg",
+                        policy.expected_attempts(self.loss_rate))
+            r.set_gauge(f"{prefix}/retry-messages",
+                        logical_msgs
+                        * (policy.expected_attempts(self.loss_rate) - 1.0))
+            r.set_gauge(f"{prefix}/retry-backoff-per-msg",
+                        policy.expected_backoff(self.loss_rate))
+            r.set_gauge(f"{prefix}/delivery-probability",
+                        policy.delivery_probability(self.loss_rate))
         r.set_gauge(f"{prefix}/n-nodes", float(result.n_nodes))
         r.set_gauge(f"{prefix}/t-step", result.t_step)
         r.set_gauge(f"{prefix}/t-compute-max", result.t_compute_max)

@@ -96,11 +96,40 @@ class TestActions:
         assert ag.async_action(gid, "add", 5).get() == 5
         assert ag.async_action(gid, "add", 5).get() == 10
 
-    def test_unknown_action_raises(self):
+    def test_unknown_action_is_exceptional_future(self):
+        """Regression: Sec. 4.1 equivalence — failures arrive through the
+        future, never as a synchronous raise."""
         ag = AgasRuntime(1)
         gid = ag.register(Counter())
+        fut = ag.async_action(gid, "nonexistent")
+        assert fut.has_exception()
         with pytest.raises(AgasError, match="no action"):
-            ag.async_action(gid, "nonexistent")
+            fut.get()
+
+    def test_unknown_gid_is_exceptional_future(self):
+        ag = AgasRuntime(1)
+        gid = ag.register(Counter())
+        ag.unregister(gid)
+        fut = ag.async_action(gid, "add", 1)
+        assert fut.has_exception()
+        with pytest.raises(AgasError, match="unknown gid"):
+            fut.get()
+
+    def test_apply_swallows_and_counts_errors(self):
+        """Regression: fire-and-forget must not leak exceptions."""
+        from repro.runtime import default_registry
+        reg = default_registry()
+        before = reg.snapshot().get("/agas/apply-errors", 0.0)
+        ag = AgasRuntime(1)
+        gid = ag.register(Counter())
+        ag.unregister(gid)
+        ag.apply(gid, "add", 1)          # unknown gid: swallowed
+        gid2 = ag.register(Counter())
+        ag.apply(gid2, "fail")           # action raises: swallowed
+        ag.apply(gid2, "add", 3)         # success still executes
+        comp, _ = ag.resolve(gid2)
+        assert comp.value == 3
+        assert reg.snapshot()["/agas/apply-errors"] == before + 2
 
     def test_action_exception_in_future(self):
         ag = AgasRuntime(1)

@@ -57,6 +57,56 @@ class TestChannel:
         with pytest.raises(ChannelClosed):
             ch.set(1)
 
+    def test_close_drains_buffered_values(self):
+        """Regression: a fast sender's set posted before the receiver's
+        get must survive close() — halo data is not dropped on shutdown."""
+        ch = Channel("halo")
+        ch.set("gen0", 0)
+        ch.set("gen1", 1)
+        ch.close()
+        assert ch.get(0).get() == "gen0"
+        assert ch.get(1).get() == "gen1"
+        with pytest.raises(ChannelClosed):
+            ch.get(2)
+
+    def test_close_drains_fifo_gets_in_order(self):
+        ch = Channel()
+        ch.set("a")
+        ch.set("b")
+        ch.close()
+        assert ch.get().get() == "a"
+        assert ch.get().get() == "b"
+        with pytest.raises(ChannelClosed):
+            ch.get()
+
+    def test_reset_of_consumed_generation_rejected(self):
+        """Regression: once generation g is consumed, a second set(g) must
+        raise instead of silently becoming a fresh value."""
+        ch = Channel()
+        ch.set(1, 0)
+        assert ch.get(0).get() == 1
+        with pytest.raises(ValueError, match="already consumed"):
+            ch.set(2, 0)
+
+    def test_reset_after_promise_match_rejected(self):
+        ch = Channel()
+        fut = ch.get(5)
+        ch.set("v", 5)
+        assert fut.get() == "v"
+        with pytest.raises(ValueError, match="already consumed"):
+            ch.set("w", 5)
+
+    def test_out_of_order_generations_not_falsely_rejected(self):
+        """Consuming a high generation must not block a lower, never-set
+        one (sparse explicit-generation traffic stays legal)."""
+        ch = Channel()
+        ch.set("hi", 5)
+        assert ch.get(5).get() == "hi"
+        ch.set("lo", 3)           # 3 was never consumed
+        assert ch.get(3).get() == "lo"
+        with pytest.raises(ValueError):
+            ch.set("again", 3)
+
     def test_pending_and_buffered_introspection(self):
         ch = Channel()
         ch.get(2)

@@ -123,3 +123,43 @@ class TestScalingModel:
             speedup(1.0, 0.0)
         with pytest.raises(ValueError):
             parallel_efficiency(1.0, 0, 1.0)
+
+
+class TestDegradedNetworkModel:
+    """StepModel charges the resilience layer's retry cost (PR 2)."""
+
+    def test_loss_slows_the_step(self):
+        prof = cached_profile(14)
+        clean = StepModel(prof, PIZ_DAINT).step_time(128, LF)
+        lossy = StepModel(prof, PIZ_DAINT,
+                          loss_rate=0.05).step_time(128, LF)
+        assert lossy.t_step > clean.t_step
+        assert lossy.total_messages > clean.total_messages  # retransmissions
+
+    def test_single_node_unaffected_by_loss(self):
+        prof = cached_profile(14)
+        clean = StepModel(prof, PIZ_DAINT).step_time(1, LF)
+        lossy = StepModel(prof, PIZ_DAINT, loss_rate=0.2).step_time(1, LF)
+        assert lossy.t_step == clean.t_step
+
+    def test_penalty_grows_with_loss_rate(self):
+        prof = cached_profile(14)
+        steps = [StepModel(prof, PIZ_DAINT, loss_rate=p).step_time(256, LF)
+                 for p in (0.0, 0.05, 0.2)]
+        times = [s.t_step for s in steps]
+        assert times == sorted(times)
+
+    def test_retry_gauges_published(self):
+        from repro.runtime import CounterRegistry
+        reg = CounterRegistry()
+        m = StepModel(cached_profile(14), PIZ_DAINT, loss_rate=0.1,
+                      registry=reg)
+        m.step_time(64, LF)
+        snap = reg.snapshot()
+        assert snap["/simulator/step/libfabric/retry-attempts-per-msg"] > 1.0
+        assert snap["/simulator/step/libfabric/retry-messages"] > 0.0
+        assert 0.0 < snap["/simulator/step/libfabric/delivery-probability"] <= 1.0
+
+    def test_bad_loss_rate_rejected(self):
+        with pytest.raises(ValueError):
+            StepModel(cached_profile(14), PIZ_DAINT, loss_rate=1.0)
