@@ -1,0 +1,190 @@
+"""Node-level step benchmark: serial vs futurized ``BlockMesh``.
+
+The paper's Table 2 measures one node-level time step of Octo-Tiger with
+kernels routed to GPU streams by the launch policy.  This script is the
+repro analogue on real solver work: it times self-gravitating hydro
+steps of a ``blocks_per_edge**3``-sub-grid :class:`repro.core.mesh.BlockMesh`
+twice from the same initial state —
+
+* **serial**: no scheduler, no device; the bit-identical reference;
+* **futurized**: per-block RHS tasks on a work-stealing scheduler and
+  FMM interaction batches routed GPU-stream-else-CPU-worker through an
+  :class:`repro.core.exec.ExecutionEngine`
+
+— verifies the two end states are byte-identical, and writes
+``BENCH_step.json`` with wall times, zone-update/interaction rates and
+the hot-path counters (``/cuda/launched/*``, ``/threads/stolen``,
+``/fmm/*``).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_step.py            # 4^3 blocks
+    PYTHONPATH=src python benchmarks/bench_step.py --smoke    # CI-sized
+    PYTHONPATH=src python benchmarks/bench_step.py --check    # regression gate
+
+``--check`` exits nonzero if the futurized throughput falls below
+``--threshold`` (default 0.8) times the serial throughput, or if the
+two runs diverge bitwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import BlockMesh, SUBGRID_N  # noqa: E402
+from repro.core.exec import ExecutionEngine  # noqa: E402
+from repro.core.scenario import equilibrium_star  # noqa: E402
+from repro.runtime import CudaDevice, WorkStealingScheduler  # noqa: E402
+from repro.runtime.counters import default_registry  # noqa: E402
+
+
+def build_mesh(bpe: int, engine: ExecutionEngine | None = None) -> BlockMesh:
+    """A Lane-Emden star tiled into ``bpe**3`` sub-grids."""
+    star = equilibrium_star(n=bpe * SUBGRID_N, domain=4.0)
+    mesh = BlockMesh(bpe, domain=star.domain, origin=star.origin,
+                     options=star.options, bc=star.bc,
+                     engine=engine, self_gravity=True)
+    mesh.load_interior(star.interior.copy())
+    return mesh
+
+
+def run_steps(mesh: BlockMesh, warmup: int, steps: int) -> dict:
+    """Warm up (records the FMM pair script), then time ``steps`` steps."""
+    reg = default_registry()
+    for _ in range(warmup):
+        mesh.step()
+    before = reg.snapshot()
+    t0 = time.perf_counter()
+    for _ in range(steps):
+        mesh.step()
+    seconds = time.perf_counter() - t0
+    after = reg.snapshot()
+    interactions = sum(
+        after.get(k, 0.0) - before.get(k, 0.0)
+        for k in ("/fmm/interactions/multipole", "/fmm/interactions/monopole"))
+    zones = mesh.n ** 3 * steps
+    return {
+        "seconds": seconds,
+        "steps": steps,
+        "zone_updates_per_s": zones / seconds if seconds > 0 else 0.0,
+        "fmm_interactions_per_s": (interactions / seconds
+                                   if seconds > 0 else 0.0),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--blocks", type=int, default=None,
+                        help="blocks per edge (power of two; default 4)")
+    parser.add_argument("--steps", type=int, default=None,
+                        help="timed steps per variant (default 3)")
+    parser.add_argument("--warmup", type=int, default=1,
+                        help="untimed warmup steps (default 1)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="scheduler worker threads (default 4)")
+    parser.add_argument("--streams", type=int, default=16,
+                        help="simulated CUDA streams (default 16)")
+    parser.add_argument("--gpu-workers", type=int, default=4,
+                        help="simulated GPU executor workers (default 4)")
+    parser.add_argument("--out", default="BENCH_step.json",
+                        help="output JSON path (default BENCH_step.json)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI configuration (4^3 blocks, 1 timed step) "
+                             "unless --blocks/--steps are given")
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero on bitwise divergence or if "
+                             "futurized throughput < threshold * serial")
+    parser.add_argument("--threshold", type=float, default=0.8,
+                        help="minimum futurized/serial throughput ratio "
+                             "for --check (default 0.8)")
+    args = parser.parse_args(argv)
+
+    bpe = args.blocks if args.blocks is not None else 4
+    steps = args.steps if args.steps is not None else (1 if args.smoke else 3)
+    reg = default_registry()
+
+    # -- serial reference -------------------------------------------------
+    reg.reset()
+    serial_mesh = build_mesh(bpe)
+    serial = run_steps(serial_mesh, args.warmup, steps)
+    serial_state = serial_mesh.gather_interior()
+
+    # -- futurized: scheduler workers + GPU streams with CPU overflow -----
+    reg.reset()
+    with WorkStealingScheduler(args.workers) as sched, \
+            CudaDevice(n_streams=args.streams, n_workers=args.gpu_workers,
+                       name="bench-gpu") as gpu:
+        engine = ExecutionEngine(scheduler=sched, devices=[gpu])
+        fut_mesh = build_mesh(bpe, engine=engine)
+        futurized = run_steps(fut_mesh, args.warmup, steps)
+        engine.synchronize()
+        engine.publish_counters(reg)
+        fut_state = fut_mesh.gather_interior()
+    snap = reg.snapshot()
+
+    bit_identical = bool(np.array_equal(serial_state, fut_state))
+    ratio = (futurized["zone_updates_per_s"] / serial["zone_updates_per_s"]
+             if serial["zone_updates_per_s"] > 0 else 0.0)
+    counters = {k: snap.get(k, 0.0) for k in (
+        "/cuda/launched/gpu", "/cuda/launched/cpu", "/cuda/leases-reclaimed",
+        "/threads/stolen", "/threads/executed", "/exec/batches",
+        "/exec/tasks", "/fmm/solves", "/fmm/solves-futurized",
+        "/fmm/interactions/multipole", "/fmm/interactions/monopole")}
+    report = {
+        "config": {
+            "blocks_per_edge": bpe, "grid": fut_mesh.n,
+            "steps": steps, "warmup": args.warmup,
+            "workers": args.workers, "streams": args.streams,
+            "gpu_workers": args.gpu_workers,
+        },
+        "serial": serial,
+        "futurized": futurized,
+        "throughput_ratio": ratio,
+        "gpu_launch_fraction": engine.gpu_fraction,
+        "bit_identical": bit_identical,
+        "counters": counters,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+
+    print(f"grid {fut_mesh.n}^3 ({bpe}^3 blocks), {steps} steps:")
+    print(f"  serial     {serial['seconds']:8.3f} s   "
+          f"{serial['zone_updates_per_s']:12.0f} zones/s")
+    print(f"  futurized  {futurized['seconds']:8.3f} s   "
+          f"{futurized['zone_updates_per_s']:12.0f} zones/s   "
+          f"({ratio:.2f}x serial)")
+    print(f"  gpu/cpu launches {counters['/cuda/launched/gpu']:.0f}/"
+          f"{counters['/cuda/launched/cpu']:.0f} "
+          f"({100 * engine.gpu_fraction:.1f}% gpu), "
+          f"tasks stolen {counters['/threads/stolen']:.0f}")
+    print(f"  bit-identical end state: {bit_identical}")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        if not bit_identical:
+            print("CHECK FAILED: futurized end state diverged bitwise",
+                  file=sys.stderr)
+            return 1
+        if ratio < args.threshold:
+            print(f"CHECK FAILED: futurized throughput {ratio:.2f}x serial "
+                  f"< {args.threshold:.2f}x", file=sys.stderr)
+            return 1
+        if counters["/cuda/launched/gpu"] <= 0 \
+                or counters["/threads/stolen"] <= 0:
+            print("CHECK FAILED: expected nonzero /cuda/launched/gpu and "
+                  "/threads/stolen", file=sys.stderr)
+            return 1
+        print("check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

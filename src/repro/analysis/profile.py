@@ -93,8 +93,25 @@ def format_report(registry: CounterRegistry | None = None) -> str:
                 ["launch target", "count"], rows,
                 title="kernel launch policy (/cuda/launch) — "
                       "the Sec. 6.1.2 statistic"))
+        launched = {k.split("/", 1)[1]: v for k, v in cuda.items()
+                    if k.startswith("launched/")}
+        if launched:
+            gpu = launched.get("gpu", 0.0)
+            cpu = launched.get("cpu", 0.0)
+            total = gpu + cpu
+            rows = [["gpu stream", int(gpu)],
+                    ["cpu overflow", int(cpu)],
+                    ["gpu-launch %", _pct(gpu / total if total else 0.0)]]
+            if "leases-reclaimed" in cuda:
+                rows.append(["leases reclaimed",
+                             int(cuda["leases-reclaimed"])])
+            sections.append(format_table(
+                ["placement", "count"], rows,
+                title="execution engine placement (/cuda/launched) — "
+                      "live-solve launch ratio"))
         devices = sorted({k.split("/")[0] for k in cuda
-                          if not k.startswith("launch/")})
+                          if not k.startswith(("launch/", "launched/"))
+                          and "/" in k})
         rows = []
         for dev in devices:
             rows.append([dev,

@@ -3,7 +3,8 @@
 from .grid import (SubGrid, RHO, SX, SY, SZ, EGAS, TAU, PASSIVE0, NPASSIVE,
                    LX, LY, LZ, NF, NGHOST, SUBGRID_N, FIELD_NAMES)
 from .eos import IdealGas, DEFAULT_GAMMA
-from .mesh import Mesh, DistributedMesh, apply_boundary
+from .exec import ExecutionEngine
+from .mesh import Mesh, BlockMesh, DistributedMesh, apply_boundary
 from .octree import Octree, OctreeNode, prolong, restrict
 from .amr import AmrMesh
 from .hydro.solver import HydroOptions, compute_rhs, cfl_dt
@@ -22,7 +23,8 @@ __all__ = [
     "SubGrid", "RHO", "SX", "SY", "SZ", "EGAS", "TAU", "PASSIVE0",
     "NPASSIVE", "LX", "LY", "LZ", "NF", "NGHOST", "SUBGRID_N",
     "FIELD_NAMES", "IdealGas", "DEFAULT_GAMMA",
-    "Mesh", "DistributedMesh", "apply_boundary",
+    "Mesh", "BlockMesh", "DistributedMesh", "apply_boundary",
+    "ExecutionEngine",
     "Octree", "OctreeNode", "prolong", "restrict", "AmrMesh",
     "HydroOptions", "compute_rhs", "cfl_dt",
     "FmmSolver", "FmmLevel", "GravityResult",

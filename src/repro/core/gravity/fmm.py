@@ -251,7 +251,22 @@ class FmmSolver:
 
     # -- the three FMM steps -----------------------------------------------------
 
-    def solve(self) -> GravityResult:
+    def solve(self, executor=None) -> GravityResult:
+        """Run the three FMM steps; returns the leaf field.
+
+        ``executor`` is an optional
+        :class:`~repro.core.exec.ExecutionEngine`: the recorded same-level
+        interaction batches are then dispatched as independent tasks onto
+        scheduler workers and (when the engine holds a device) GPU
+        streams with CPU overflow — the paper's futurized per-subgrid
+        gravity (Sec. 5.1).  Pair contributions are *accumulated* on the
+        calling thread in recorded batch order, so a futurized solve is
+        bit-identical to a serial one.
+
+        The very first solve records the geometry-dependent pair script
+        and therefore runs serially; every subsequent solve replays it,
+        futurized when an executor is given.
+        """
         reg = default_registry()
         reg.increment("/fmm/solves")
         self._reset_taylor()
@@ -261,6 +276,9 @@ class FmmSolver:
             self._recording = True
             self._same_level()
             self._recording = False
+        elif executor is not None:
+            reg.increment("/fmm/solves-futurized")
+            self._replay_futurized(executor)
         else:
             self._replay()
         self._downward()
@@ -277,6 +295,42 @@ class FmmSolver:
             else:
                 reg.increment("/fmm/interactions/monopole", len(a))
                 self._p2p_kernel(la, a, lb, b)
+
+    def _replay_futurized(self, engine) -> None:
+        """Dispatch the pair script through an execution engine.
+
+        Each script entry becomes one task computing its kernel batch
+        (the compute-heavy gather + vectorized pair kernel); the cheap
+        scatter-accumulation runs here, in script order, so the result is
+        byte-identical to :meth:`_replay` regardless of how the batches
+        were placed or interleaved.
+        """
+        reg = default_registry()
+        by_id = {lv.level: lv for lv in self.levels}
+        script = self._pair_script
+
+        def compute(kind: str, la: FmmLevel, a: np.ndarray,
+                    lb: FmmLevel, b: np.ndarray):
+            if kind == "m2l":
+                return self._m2l_compute(la, a, lb, b)
+            return self._p2p_compute(la, a, lb, b)
+
+        futs = engine.map(compute, [
+            (kind, by_id[la_lvl], a, by_id[lb_lvl], b)
+            for kind, la_lvl, a, lb_lvl, b in script])
+        for (kind, la_lvl, a, lb_lvl, b), fut in zip(script, futs):
+            la, lb = by_id[la_lvl], by_id[lb_lvl]
+            out = fut.get()
+            if kind == "m2l":
+                reg.increment("/fmm/interactions/multipole", len(a))
+                phiA, phiB, accA, accB, HA, HB = out
+                _accumulate(la, a, phiA, accA, HA)
+                _accumulate(lb, b, phiB, accB, HB)
+            else:
+                reg.increment("/fmm/interactions/monopole", len(a))
+                phiA, phiB, accA, accB = out
+                _accumulate(la, a, phiA, accA, None)
+                _accumulate(lb, b, phiB, accB, None)
 
     def _reset_taylor(self) -> None:
         for lv in self.levels:
@@ -360,13 +414,18 @@ class FmmSolver:
         default_registry().increment("/fmm/interactions/multipole", len(a))
         self._m2l_kernel(la, a, lb, b)
 
-    def _m2l_kernel(self, la: FmmLevel, a: np.ndarray,
-                    lb: FmmLevel, b: np.ndarray) -> None:
+    def _m2l_compute(self, la: FmmLevel, a: np.ndarray,
+                     lb: FmmLevel, b: np.ndarray):
+        """Pure compute half of M2L: gather + pair kernel, no accumulation
+        (safe to run concurrently with other batches of the same solve)."""
         dR = la.com[a] - lb.com[b]
         mA = np.maximum(la.m[a], _TINY)
         mB = np.maximum(lb.m[b], _TINY)
-        phiA, phiB, accA, accB, HA, HB = m2l_pair(dR, mA, mB,
-                                                  la.M2[a], lb.M2[b])
+        return m2l_pair(dR, mA, mB, la.M2[a], lb.M2[b])
+
+    def _m2l_kernel(self, la: FmmLevel, a: np.ndarray,
+                    lb: FmmLevel, b: np.ndarray) -> None:
+        phiA, phiB, accA, accB, HA, HB = self._m2l_compute(la, a, lb, b)
         _accumulate(la, a, phiA, accA, HA)
         _accumulate(lb, b, phiB, accB, HB)
 
@@ -377,12 +436,17 @@ class FmmSolver:
         default_registry().increment("/fmm/interactions/monopole", len(a))
         self._p2p_kernel(la, a, lb, b)
 
-    def _p2p_kernel(self, la: FmmLevel, a: np.ndarray,
-                    lb: FmmLevel, b: np.ndarray) -> None:
+    def _p2p_compute(self, la: FmmLevel, a: np.ndarray,
+                     lb: FmmLevel, b: np.ndarray):
+        """Pure compute half of P2P (see :meth:`_m2l_compute`)."""
         dR = la.com[a] - lb.com[b]
         mA = np.maximum(la.m[a], _TINY)
         mB = np.maximum(lb.m[b], _TINY)
-        phiA, phiB, accA, accB = p2p_pair(dR, mA, mB)
+        return p2p_pair(dR, mA, mB)
+
+    def _p2p_kernel(self, la: FmmLevel, a: np.ndarray,
+                    lb: FmmLevel, b: np.ndarray) -> None:
+        phiA, phiB, accA, accB = self._p2p_compute(la, a, lb, b)
         _accumulate(la, a, phiA, accA, None)
         _accumulate(lb, b, phiB, accB, None)
 

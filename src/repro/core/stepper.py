@@ -1,10 +1,18 @@
 """Coupled evolution driver with conservation monitoring.
 
-Runs a :class:`~repro.core.mesh.Mesh` forward in time (gravity + hydro,
-as :meth:`Mesh.step` couples them) and records the conserved quantities
-the paper cares about — mass, linear momentum, angular momentum (orbital
-plus Despres-Labourasse spin) and total energy (gas + potential) — so
-examples and tests can assert/report drifts.
+Runs a mesh forward in time (gravity + hydro, as ``step`` couples them)
+and records the conserved quantities the paper cares about — mass,
+linear momentum, angular momentum (orbital plus Despres-Labourasse spin)
+and total energy (gas + potential) — so examples and tests can
+assert/report drifts.
+
+Any object exposing ``compute_dt() -> float``, ``step(dt)``,
+``conserved_totals()``, ``time`` and ``steps`` can be driven: both
+:class:`~repro.core.mesh.Mesh` and the multi-sub-grid
+:class:`~repro.core.mesh.BlockMesh` (whose futurized scheduler/GPU
+execution is thereby exercised end to end).  Checkpoint/rollback
+(``checkpoint_interval``) additionally requires a ``U`` state array,
+i.e. a single-block :class:`Mesh`.
 """
 
 from __future__ import annotations
@@ -41,7 +49,7 @@ class ConservationMonitor:
 
     records: list[ConservationRecord] = field(default_factory=list)
 
-    def sample(self, mesh: Mesh) -> ConservationRecord:
+    def sample(self, mesh) -> ConservationRecord:
         tot = mesh.conserved_totals()
         rec = ConservationRecord(
             time=mesh.time, step=mesh.steps, mass=tot["mass"],
@@ -82,7 +90,7 @@ class ConservationMonitor:
         }
 
 
-def evolve(mesh: Mesh, t_end: float, max_steps: int = 10_000,
+def evolve(mesh, t_end: float, max_steps: int = 10_000,
            monitor: ConservationMonitor | None = None,
            callback=None, checkpoint_interval: int | None = None,
            checkpoints=None, fault_injector=None,

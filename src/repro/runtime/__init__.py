@@ -13,8 +13,9 @@ from .scheduler import WorkStealingScheduler, TaskStats
 from .agas import AgasRuntime, Component, Gid, AgasError, LocalityFailed
 from .parcel import Parcel, ParcelHandler, EAGER_THRESHOLD, serialized_size
 from .channel import Channel, ChannelClosed
-from .cuda import (CudaDevice, CudaStream, StreamPool, LaunchPolicy,
-                   DEFAULT_STREAMS_PER_GPU)
+from .cuda import (CudaDevice, CudaStream, StreamPool, StreamLease,
+                   LaunchPolicy, DEFAULT_STREAMS_PER_GPU,
+                   DEFAULT_LEASE_TIMEOUT_S)
 from .counters import CounterRegistry, default_registry, counter, gauge, timer
 
 __all__ = [
@@ -25,8 +26,8 @@ __all__ = [
     "AgasRuntime", "Component", "Gid", "AgasError", "LocalityFailed",
     "Parcel", "ParcelHandler", "EAGER_THRESHOLD", "serialized_size",
     "Channel", "ChannelClosed",
-    "CudaDevice", "CudaStream", "StreamPool", "LaunchPolicy",
-    "DEFAULT_STREAMS_PER_GPU",
+    "CudaDevice", "CudaStream", "StreamPool", "StreamLease", "LaunchPolicy",
+    "DEFAULT_STREAMS_PER_GPU", "DEFAULT_LEASE_TIMEOUT_S",
     "CounterRegistry", "default_registry", "counter", "gauge", "timer",
     "trace",
 ]

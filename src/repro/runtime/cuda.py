@@ -38,11 +38,17 @@ from . import trace
 from .counters import CounterRegistry, default_registry
 from .future import Future, Promise
 
-__all__ = ["CudaDevice", "CudaStream", "StreamPool", "LaunchPolicy",
-           "DEFAULT_STREAMS_PER_GPU"]
+__all__ = ["CudaDevice", "CudaStream", "StreamPool", "StreamLease",
+           "LaunchPolicy", "DEFAULT_STREAMS_PER_GPU",
+           "DEFAULT_LEASE_TIMEOUT_S"]
 
 #: "usually 128 per GPU" (Sec. 5.1)
 DEFAULT_STREAMS_PER_GPU = 128
+
+#: reservation leases older than this are considered leaked (the holder
+#: acquired a stream but never enqueued, e.g. it raised in between) and
+#: may be reclaimed by the next acquirer
+DEFAULT_LEASE_TIMEOUT_S = 5.0
 
 
 class CudaStream:
@@ -55,6 +61,8 @@ class CudaStream:
         self._queue: collections.deque = collections.deque()
         self._in_flight = False
         self._reserved = False
+        self._lease_token = 0
+        self._lease_deadline = 0.0
         self._last_future: Future | None = None
 
     def enqueue(self, fn: Callable[..., Any], *args: Any) -> Future:
@@ -90,18 +98,39 @@ class CudaStream:
         with self._lock:
             return self._in_flight or self._reserved or bool(self._queue)
 
-    def _try_reserve(self) -> bool:
-        """Atomically claim this stream if it is idle (pool-internal)."""
-        with self._lock:
-            if self._in_flight or self._reserved or self._queue:
-                return False
-            self._reserved = True
-            return True
+    def _try_reserve(self, timeout: float = DEFAULT_LEASE_TIMEOUT_S
+                     ) -> int | None:
+        """Atomically claim this stream if it is idle (pool-internal).
 
-    def release(self) -> None:
-        """Give back a reservation without enqueueing a kernel."""
+        Returns a lease token, or ``None`` when the stream is busy.  A
+        reservation whose lease deadline has passed was leaked by its
+        holder (acquired, never enqueued) and is reclaimed here, counted
+        under ``/cuda/leases-reclaimed``.
+        """
         with self._lock:
-            self._reserved = False
+            if self._in_flight or self._queue:
+                return None
+            now = time.monotonic()
+            if self._reserved:
+                if now < self._lease_deadline:
+                    return None
+                default_registry().increment("/cuda/leases-reclaimed")
+            self._reserved = True
+            self._lease_token += 1
+            self._lease_deadline = now + timeout
+            return self._lease_token
+
+    def release(self, token: int | None = None) -> None:
+        """Give back a reservation without enqueueing a kernel.
+
+        With a ``token`` (from :meth:`StreamPool.acquire` leases) the
+        release is a no-op unless the token still owns the reservation,
+        so a late release can never clobber a newer holder's claim.
+        """
+        with self._lock:
+            if token is None or (self._reserved
+                                 and self._lease_token == token):
+                self._reserved = False
 
     # -- device side ---------------------------------------------------------
 
@@ -219,24 +248,69 @@ class CudaDevice:
         self.shutdown()
 
 
-class StreamPool:
-    """Non-blocking allocator of idle streams across one or more devices."""
+class StreamLease:
+    """A held stream reservation that cannot leak.
 
-    def __init__(self, devices: list[CudaDevice]):
+    Returned by :meth:`StreamPool.acquire`.  Use as a context manager (or
+    call :meth:`release` explicitly): if the holder exits without having
+    enqueued a kernel — e.g. an exception between acquire and launch —
+    the reservation is given back immediately instead of pinning the
+    stream until the lease timeout reclaims it.
+    """
+
+    __slots__ = ("stream", "_token", "_consumed")
+
+    def __init__(self, stream: CudaStream, token: int):
+        self.stream = stream
+        self._token = token
+        self._consumed = False
+
+    def enqueue(self, fn: Callable[..., Any], *args: Any) -> Future:
+        """Launch a kernel on the leased stream, consuming the lease."""
+        self._consumed = True
+        return self.stream.enqueue(fn, *args)
+
+    def release(self) -> None:
+        """Return the reservation unless a kernel was already enqueued."""
+        if not self._consumed:
+            self._consumed = True
+            self.stream.release(self._token)
+
+    def __enter__(self) -> "StreamLease":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+
+class StreamPool:
+    """Non-blocking allocator of idle streams across one or more devices.
+
+    Reservations are leases: they expire after ``lease_timeout`` seconds
+    if the holder never enqueues, so a crashed caller cannot permanently
+    remove a stream from circulation (reclaims are counted under
+    ``/cuda/leases-reclaimed``).
+    """
+
+    def __init__(self, devices: list[CudaDevice],
+                 lease_timeout: float = DEFAULT_LEASE_TIMEOUT_S):
         if not devices:
             raise ValueError("need at least one device")
+        if lease_timeout <= 0:
+            raise ValueError("lease timeout must be positive")
         self.devices = devices
+        self.lease_timeout = lease_timeout
         self._lock = threading.Lock()
         self._rr = 0
 
-    def try_acquire(self) -> CudaStream | None:
-        """Reserve and return an idle stream; ``None`` if all are busy.
+    def acquire(self) -> StreamLease | None:
+        """Reserve an idle stream; returns a lease, or ``None`` if busy.
 
-        The returned stream is *reserved* (its ``busy()`` reports True) so
+        The leased stream is *reserved* (its ``busy()`` reports True) so
         concurrent acquirers can never be handed the same stream before
         either has enqueued anything; the reservation is consumed by
-        :meth:`CudaStream.enqueue` or returned via
-        :meth:`CudaStream.release`.
+        :meth:`StreamLease.enqueue` or returned by
+        :meth:`StreamLease.release` / lease expiry.
 
         Round-robins across devices so multi-GPU nodes (the 2×V100 rows of
         Table 2) share load.
@@ -246,10 +320,22 @@ class StreamPool:
             n = len(all_streams)
             for k in range(n):
                 s = all_streams[(self._rr + k) % n]
-                if s._try_reserve():
+                token = s._try_reserve(self.lease_timeout)
+                if token is not None:
                     self._rr = (self._rr + k + 1) % n
-                    return s
+                    return StreamLease(s, token)
         return None
+
+    def try_acquire(self) -> CudaStream | None:
+        """Legacy acquire: the reserved stream itself (lease implicit).
+
+        The reservation is consumed by :meth:`CudaStream.enqueue`,
+        released by :meth:`CudaStream.release`, or reclaimed after
+        ``lease_timeout`` — prefer :meth:`acquire`, whose lease object
+        cannot be leaked by an exception between acquire and enqueue.
+        """
+        lease = self.acquire()
+        return lease.stream if lease is not None else None
 
     @property
     def n_streams(self) -> int:
@@ -272,11 +358,12 @@ class LaunchPolicy:
         self.cpu_launches = 0
 
     def launch(self, kernel: Callable[..., Any], *args: Any) -> Future:
-        stream = self.pool.try_acquire()
-        if stream is not None:
-            with self._lock:
-                self.gpu_launches += 1
-            return stream.enqueue(kernel, *args)
+        lease = self.pool.acquire()
+        if lease is not None:
+            with lease:
+                with self._lock:
+                    self.gpu_launches += 1
+                return lease.enqueue(kernel, *args)
         with self._lock:
             self.cpu_launches += 1
         promise = Promise()

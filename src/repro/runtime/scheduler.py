@@ -223,6 +223,36 @@ class WorkStealingScheduler:
         with self._stats_lock:
             self.stats.posted += 1
 
+    def post_batch(self, tasks) -> None:
+        """Fire-and-forget many thunks under one lock acquisition.
+
+        The fan-out primitive of the futurized execution engine
+        (:mod:`repro.core.exec`): posting a solve's worth of kernel
+        batches one ``post`` at a time would take and drop ``_idle_cond``
+        per task.  Called from a worker the batch lands on its local
+        deque, where idle workers steal from the opposite end — the
+        Blumofe–Leiserson fan-out that spreads a task tree breadth-first.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return
+        worker = getattr(_TLS, "worker", None)
+        local = worker is not None and worker.sched is self
+        with self._idle_cond:
+            if self._shutdown and not (local and not self._stopped):
+                with self._stats_lock:
+                    self.stats.rejected += len(tasks)
+                raise RuntimeError("scheduler is shut down")
+            self._pending += len(tasks)
+            self._wake_seq += 1
+            if local:
+                worker.deque.extend(tasks)
+            else:
+                self._inbox.extend(tasks)
+            self._idle_cond.notify_all()
+        with self._stats_lock:
+            self.stats.posted += len(tasks)
+
     def submit(self, fn: Callable[..., Any], *args: Any) -> Future:
         """Schedule ``fn(*args)``; returns a future for its result."""
         return async_execute(fn, *args, executor=self.post)

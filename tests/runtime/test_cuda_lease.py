@@ -1,0 +1,91 @@
+"""Stream-lease lifecycle: no leaks, timeout reclaim, stale releases."""
+
+import time
+
+import pytest
+
+from repro.runtime import (CudaDevice, StreamLease, StreamPool,
+                           DEFAULT_LEASE_TIMEOUT_S)
+from repro.runtime.counters import default_registry
+
+
+@pytest.fixture
+def gpu():
+    with CudaDevice(n_streams=1, n_workers=1, name="lease-gpu") as dev:
+        yield dev
+
+
+class TestStreamLease:
+    def test_acquire_returns_lease_and_reserves(self, gpu):
+        pool = StreamPool([gpu])
+        lease = pool.acquire()
+        assert isinstance(lease, StreamLease)
+        assert lease.stream.busy()
+        assert pool.acquire() is None
+        lease.release()
+        assert not lease.stream.busy()
+
+    def test_enqueue_consumes_lease(self, gpu):
+        pool = StreamPool([gpu])
+        lease = pool.acquire()
+        fut = lease.enqueue(lambda: 7)
+        assert fut.get() == 7
+        # release after consumption must not free someone else's claim
+        lease.release()
+        again = pool.acquire()
+        assert again is not None
+        again.release()
+
+    def test_context_manager_releases_on_exception(self, gpu):
+        pool = StreamPool([gpu])
+        with pytest.raises(RuntimeError):
+            with pool.acquire():
+                raise RuntimeError("holder crashed before enqueue")
+        # the reservation came back immediately, not after the timeout
+        lease = pool.acquire()
+        assert lease is not None
+        lease.release()
+
+    def test_context_manager_keeps_consumed_lease(self, gpu):
+        pool = StreamPool([gpu])
+        with pool.acquire() as lease:
+            assert lease.enqueue(lambda: 1).get() == 1
+        gpu.synchronize()
+        assert not gpu.streams[0].busy()
+
+    def test_expired_lease_is_reclaimed_and_counted(self, gpu):
+        reg = default_registry()
+        reg.reset()
+        pool = StreamPool([gpu], lease_timeout=0.05)
+        leaked = pool.acquire()
+        assert leaked is not None
+        assert pool.acquire() is None  # still within the lease
+        time.sleep(0.08)
+        lease = pool.acquire()  # reclaims the leaked reservation
+        assert lease is not None
+        assert reg.snapshot().get("/cuda/leases-reclaimed") == 1.0
+        lease.release()
+
+    def test_stale_release_cannot_clobber_new_holder(self, gpu):
+        pool = StreamPool([gpu], lease_timeout=0.05)
+        leaked = pool.acquire()
+        time.sleep(0.08)
+        current = pool.acquire()
+        assert current is not None
+        leaked.release()  # late release of the reclaimed token: no-op
+        assert gpu.streams[0].busy()
+        assert pool.acquire() is None
+        current.release()
+
+    def test_legacy_try_acquire_release_roundtrip(self, gpu):
+        pool = StreamPool([gpu])
+        s = pool.try_acquire()
+        assert s is gpu.streams[0]
+        assert pool.try_acquire() is None
+        s.release()
+        assert pool.try_acquire() is s
+
+    def test_pool_validates_lease_timeout(self, gpu):
+        with pytest.raises(ValueError):
+            StreamPool([gpu], lease_timeout=0.0)
+        assert StreamPool([gpu]).lease_timeout == DEFAULT_LEASE_TIMEOUT_S
