@@ -109,6 +109,13 @@ def format_report(registry: CounterRegistry | None = None) -> str:
                 ["placement", "count"], rows,
                 title="execution engine placement (/cuda/launched) — "
                       "live-solve launch ratio"))
+        health_keys = ("quarantined", "readmitted", "leases-reclaimed")
+        if any(k in cuda for k in health_keys):
+            rows = [[k, int(cuda.get(k, 0))] for k in health_keys]
+            sections.append(format_table(
+                ["event", "count"], rows,
+                title="stream health (/cuda) — quarantine & lease "
+                      "reclamation"))
         devices = sorted({k.split("/")[0] for k in cuda
                           if not k.startswith(("launch/", "launched/"))
                           and "/" in k})
@@ -139,6 +146,26 @@ def format_report(registry: CounterRegistry | None = None) -> str:
             ["port", "messages", "bytes", "eager", "rendezvous", "rma",
              "sender-cpu s", "wire s", "receiver-cpu s"], rows,
             title="parcelport cost components (/parcels)"))
+
+    res = groups.get("resilience")
+    if res:
+        subgroups: dict[str, list[list]] = {}
+        for key, value in sorted(res.items()):
+            head, _, tail = key.partition("/")
+            if not tail:  # top-level counter like /resilience/backoff-seconds
+                head, tail = "(misc)", head
+            subgroups.setdefault(head, []).append([tail, round(value, 6)])
+        order = ("injected", "parcels", "tasks", "steps", "health",
+                 "checkpoint", "agas")
+        rows = []
+        for head in sorted(subgroups, key=lambda h: (
+                order.index(h) if h in order else len(order), h)):
+            for name, value in subgroups[head]:
+                rows.append([head, name, value])
+        sections.append(format_table(
+            ["layer", "counter", "value"], rows,
+            title="resilience (/resilience) — injected faults and "
+                  "recoveries"))
 
     futures = groups.get("futures")
     if futures:

@@ -17,7 +17,7 @@ from .scenario import (sod_tube, sedov_blast, equilibrium_star,
 from .radiation import (RadiationField, RadiationOptions, m1_closure,
                         radiation_rhs, couple_matter, radiation_dt)
 from .stepper import (ConservationMonitor, ConservationRecord, evolve,
-                      FaultRecoveryExhausted)
+                      FaultRecoveryExhausted, GuardViolation, GuardedStepper)
 
 __all__ = [
     "SubGrid", "RHO", "SX", "SY", "SZ", "EGAS", "TAU", "PASSIVE0",
@@ -34,7 +34,7 @@ __all__ = [
     "sod_tube", "sedov_blast", "equilibrium_star", "v1309_binary",
     "V1309_MASS_RATIO",
     "ConservationMonitor", "ConservationRecord", "evolve",
-    "FaultRecoveryExhausted",
+    "FaultRecoveryExhausted", "GuardViolation", "GuardedStepper",
     "RadiationField", "RadiationOptions", "m1_closure", "radiation_rhs",
     "couple_matter", "radiation_dt",
 ]

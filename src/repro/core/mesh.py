@@ -613,6 +613,19 @@ class BlockMesh:
             use_device=False)
         return {ip: fut.get() for (ip, _), fut in zip(items, futures)}
 
+    # -- rollback ----------------------------------------------------------------
+
+    def on_restore(self) -> None:
+        """Called by :class:`repro.resilience.checkpoint.CheckpointManager`
+        after a rollback: halo channel generations are derived from the
+        step counter, so the replayed steps would collide with consumed
+        generations unless every channel forgets its history.  The gravity
+        cache is also dropped — it holds post-fault state."""
+        for ch in self.channels.values():
+            ch.reset()
+        self._grav_rho = None
+        self._grav_acc = None
+
     # -- diagnostics ------------------------------------------------------------
 
     def conserved_totals(self) -> dict[str, float | np.ndarray]:

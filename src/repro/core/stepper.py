@@ -11,8 +11,21 @@ Any object exposing ``compute_dt() -> float``, ``step(dt)``,
 :class:`~repro.core.mesh.Mesh` and the multi-sub-grid
 :class:`~repro.core.mesh.BlockMesh` (whose futurized scheduler/GPU
 execution is thereby exercised end to end).  Checkpoint/rollback
-(``checkpoint_interval``) additionally requires a ``U`` state array,
-i.e. a single-block :class:`Mesh`.
+requires a ``U`` state array (single-block :class:`Mesh`) or a
+``blocks`` dict (:class:`~repro.core.mesh.BlockMesh`).
+
+Two drivers share the machinery:
+
+* :func:`evolve` — recovers from *announced* faults
+  (:class:`~repro.resilience.faults.InjectedFault` raised mid-step).
+* :class:`GuardedStepper` — additionally *validates* each step's result:
+  NaN/Inf anywhere in the state or a negative density rejects the step,
+  rolls back to the latest checkpoint and replays.  A transient cause
+  (injected silent corruption, a once-off bad kernel) is retried at the
+  **same** dt — the fault's budget is consumed, so the replay is clean
+  and the run stays byte-identical to a fault-free one.  Only when the
+  guard rejects *the same step again* is the dt halved (a genuinely
+  stiff state), with a bounded halving budget.
 """
 
 from __future__ import annotations
@@ -22,14 +35,22 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..resilience.faults import InjectedFault
+from ..runtime import trace
+from ..runtime.counters import default_registry
+from .grid import NGHOST, RHO
 from .mesh import Mesh
 
 __all__ = ["ConservationRecord", "ConservationMonitor", "evolve",
-           "FaultRecoveryExhausted"]
+           "FaultRecoveryExhausted", "GuardViolation", "GuardedStepper"]
 
 
 class FaultRecoveryExhausted(RuntimeError):
     """Checkpoint restores exceeded ``max_restores`` during :func:`evolve`."""
+
+
+class GuardViolation(RuntimeError):
+    """A post-stage guard rejected a step and recovery is impossible
+    (no checkpoint manager, or the halving/restore budget ran out)."""
 
 
 @dataclass(frozen=True)
@@ -141,3 +162,150 @@ def evolve(mesh, t_end: float, max_steps: int = 10_000,
         if manager is not None:
             manager.maybe_save(mesh, monitor)
     return monitor
+
+
+class GuardedStepper:
+    """Checkpointed evolution with post-stage state validation.
+
+    After every step the full state is checked for NaN/Inf and negative
+    density.  A violation *rejects* the step: the mesh rolls back to the
+    latest :class:`~repro.resilience.checkpoint.CheckpointManager`
+    snapshot and replays.  The first retry of a step runs at the same dt
+    (transient causes — injected corruption with a consumed budget, a
+    once-off bad kernel — will not recur, and the replay stays
+    byte-identical to the fault-free run); a second rejection of the
+    *same* step halves its dt, up to ``max_halvings`` times, after which
+    :class:`GuardViolation` is raised.  Announced
+    :class:`~repro.resilience.faults.InjectedFault` step faults are
+    recovered exactly as in :func:`evolve`, sharing the restore budget.
+
+    With a ``fault_injector`` whose ``corrupt_at_steps`` is set, the
+    stepper is its own adversary: after the listed step completes, one
+    interior density value is overwritten with NaN — silent data
+    corruption that only the guards can catch.
+
+    Counters: ``/resilience/steps/guard-checks``,
+    ``/resilience/steps/rejected``, ``/resilience/steps/dt-halvings``,
+    ``/resilience/steps/restores``.
+    """
+
+    def __init__(self, mesh, *, checkpoints=None, checkpoint_interval=5,
+                 monitor: ConservationMonitor | None = None,
+                 fault_injector=None, max_restores: int = 16,
+                 max_halvings: int = 4, registry=None):
+        if max_halvings < 0:
+            raise ValueError("max_halvings must be >= 0")
+        self.mesh = mesh
+        if checkpoints is None:
+            from ..resilience.checkpoint import CheckpointManager
+            checkpoints = CheckpointManager(interval=checkpoint_interval)
+        self.checkpoints = checkpoints
+        self.monitor = monitor or ConservationMonitor()
+        self.injector = fault_injector
+        self.max_restores = max_restores
+        self.max_halvings = max_halvings
+        self.registry = registry or default_registry()
+        self.restores = 0
+        self.rejected = 0
+        self.halvings = 0
+        # which step the guard last rejected, and how many times its dt
+        # has been halved so far (reset when the step finally passes)
+        self._reject_step: int | None = None
+        self._step_halvings = 0
+
+    # -- guards --------------------------------------------------------------
+
+    @staticmethod
+    def _state_arrays(mesh) -> list[np.ndarray]:
+        blocks = getattr(mesh, "blocks", None)
+        if blocks is not None:
+            return list(blocks.values())
+        return [mesh.U]
+
+    def violation(self) -> str | None:
+        """Why the current state is unacceptable, or ``None`` if it is fine."""
+        self.registry.increment("/resilience/steps/guard-checks")
+        for arr in self._state_arrays(self.mesh):
+            if not np.all(np.isfinite(arr)):
+                return "non-finite state"
+            if float(arr[RHO].min()) < 0.0:
+                return "negative density"
+        return None
+
+    def _corrupt(self) -> None:
+        """Deterministic silent damage: NaN one interior density value."""
+        arr = self._state_arrays(self.mesh)[0]
+        g = NGHOST
+        c = g + (arr.shape[1] - 2 * g) // 2
+        arr[RHO, c, c, c] = np.nan
+        trace.instant("state-corrupted", "resilience", step=self.mesh.steps)
+
+    # -- recovery ------------------------------------------------------------
+
+    def _rollback(self, why: str) -> None:
+        self.restores += 1
+        if self.restores > self.max_restores:
+            raise FaultRecoveryExhausted(
+                f"gave up after {self.max_restores} checkpoint restores "
+                f"(last cause: {why})")
+        self.registry.increment("/resilience/steps/restores")
+        self.checkpoints.restore_latest(self.mesh, self.monitor)
+
+    def _reject(self, why: str, step: int) -> None:
+        self.rejected += 1
+        self.registry.increment("/resilience/steps/rejected")
+        trace.instant("step-rejected", "resilience", step=step, cause=why)
+        if self._reject_step == step:
+            # same step failed again after a clean replay: transiency is
+            # ruled out, so shrink the step
+            if self._step_halvings >= self.max_halvings:
+                raise GuardViolation(
+                    f"step {step} still rejected ({why}) after "
+                    f"{self.max_halvings} dt halvings")
+            self._step_halvings += 1
+            self.halvings += 1
+            self.registry.increment("/resilience/steps/dt-halvings")
+        else:
+            self._reject_step = step
+            self._step_halvings = 0
+        self._rollback(why)
+
+    # -- driving -------------------------------------------------------------
+
+    def evolve(self, t_end: float, max_steps: int = 10_000,
+               callback=None) -> ConservationMonitor:
+        """Advance to ``t_end`` under guard supervision; see class docs."""
+        mesh, monitor = self.mesh, self.monitor
+        if not monitor.records:
+            monitor.sample(mesh)
+        self.checkpoints.save(mesh, monitor)
+        while mesh.time < t_end and mesh.steps < max_steps:
+            step_index = mesh.steps
+            try:
+                if self.injector is not None:
+                    self.injector.maybe_step_fault(step_index)
+                dt = min(mesh.compute_dt(), t_end - mesh.time)
+                if not np.isfinite(dt) or dt <= 0:
+                    raise RuntimeError(f"invalid timestep {dt}")
+                if self._reject_step == step_index and self._step_halvings:
+                    dt *= 0.5 ** self._step_halvings
+                mesh.step(dt)
+            except InjectedFault:
+                self._rollback("injected step fault")
+                continue
+            if self.injector is not None \
+                    and self.injector.corruption_due(step_index):
+                self._corrupt()
+            why = self.violation()
+            if why is not None:
+                self._reject(why, step_index)
+                continue
+            if self._reject_step == step_index:
+                # the problem step finally passed
+                self._reject_step = None
+                self._step_halvings = 0
+            monitor.sample(mesh)
+            if callback is not None:
+                callback(mesh)
+            self.checkpoints.maybe_save(mesh, monitor)
+        return monitor

@@ -5,14 +5,19 @@ The paper's runs assume a fault-free Piz Daint; the AMT follow-up survey
 AMR astrophysics.  This package supplies both halves of the story:
 
 * the adversary — :class:`FaultInjector`, a seeded source of message
-  loss/delay, transient action exceptions, step faults and scheduled
-  locality failures;
+  loss/delay, transient action exceptions, step faults, silent state
+  corruption and scheduled locality failures;
 * the defence — :class:`ResilientParcelSender` (ack/timeout/retry with
-  exponential backoff over the parcel layer),
+  exponential backoff over the parcel layer), :class:`SupervisedEngine`
+  (bounded re-execution of transiently failing compute tasks),
+  :class:`FailureDetector` (phi-accrual heartbeat detection of silent
+  localities with automatic AGAS evacuation),
   :meth:`repro.runtime.agas.AgasRuntime.fail_locality` (component
-  migration / invalidation on node death) and :class:`CheckpointManager`
+  migration / invalidation on node death), :class:`CheckpointManager`
   (periodic mesh snapshots consumed by
-  :func:`repro.core.stepper.evolve`).
+  :func:`repro.core.stepper.evolve` and
+  :class:`repro.core.stepper.GuardedStepper`) and stream quarantine in
+  :mod:`repro.runtime.cuda`.
 
 Everything publishes ``/resilience/...`` counters into the registry from
 :mod:`repro.runtime.counters` and emits trace spans when tracing is on.
@@ -23,6 +28,10 @@ from .faults import (FaultInjector, InjectedFault, SimulationFault,
 from .retry import (DEFAULT_RETRY_POLICY, NETWORK_RETRY_POLICY,
                     ResilientParcelSender, RetryBudgetExhausted, RetryPolicy)
 from .checkpoint import CheckpointError, CheckpointManager, MeshCheckpoint
+from .supervisor import DEFAULT_TASK_RETRIES, SupervisedEngine
+from .health import (DEFAULT_HEARTBEAT_INTERVAL_S, DEFAULT_PHI_THRESHOLD,
+                     FailureDetector)
+from .chaos import ChaosConfig, ChaosResult, run_chaos_merger
 
 __all__ = [
     "FaultInjector", "InjectedFault", "SimulationFault",
@@ -30,4 +39,8 @@ __all__ = [
     "RetryPolicy", "RetryBudgetExhausted", "ResilientParcelSender",
     "DEFAULT_RETRY_POLICY", "NETWORK_RETRY_POLICY",
     "CheckpointError", "CheckpointManager", "MeshCheckpoint",
+    "SupervisedEngine", "DEFAULT_TASK_RETRIES",
+    "FailureDetector", "DEFAULT_PHI_THRESHOLD",
+    "DEFAULT_HEARTBEAT_INTERVAL_S",
+    "ChaosConfig", "ChaosResult", "run_chaos_merger",
 ]

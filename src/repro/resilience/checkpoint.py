@@ -3,24 +3,35 @@
 The conservation results of Sec. 4.2/4.3 (mass and angular momentum to
 machine precision) are only worth having if a fault mid-run does not force
 a restart from t=0.  A :class:`CheckpointManager` snapshots the *complete*
-evolution state of a mesh — the conserved-variable array ``U`` (ghosts
-included), the simulation time and the step counter, plus the length of
+evolution state of a mesh — for a single-block
+:class:`~repro.core.mesh.Mesh` the conserved-variable array ``U`` (ghosts
+included), for a :class:`~repro.core.mesh.BlockMesh` every per-sub-grid
+block — plus the simulation time and the step counter, and the length of
 the conservation monitor's record list — every ``interval`` steps.  A
 restore copies the arrays back bit-for-bit and truncates the monitor, so a
 run that fails and restores produces a state stream *identical* to the
 fault-free run: same dt sequence, same floating-point operations, same
 drifts.  That bitwise-replay property is what the resilience acceptance
-test asserts.
+tests assert, on both the serial and the futurized path.
+
+After copying state back, a restore invokes the mesh's optional
+``on_restore()`` hook — :class:`~repro.core.mesh.BlockMesh` uses it to
+reset its halo channels, whose generation numbers are derived from the
+step counter and would otherwise reject the replayed generations.
 
 Checkpoints live in memory (``keep`` most recent are retained; the model
 has no node-local disk to lose).  Saves and restores are tallied under
 ``/resilience/checkpoint/...`` and emit trace instants.
+
+The interval check in :meth:`CheckpointManager.maybe_save` and the
+append in :meth:`CheckpointManager.save` are one atomic claim: two worker
+threads asking at the same step cannot double-save it.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -36,24 +47,34 @@ class CheckpointError(RuntimeError):
 
 @dataclass(frozen=True)
 class MeshCheckpoint:
-    """A frozen snapshot of a mesh's evolution state."""
+    """A frozen snapshot of a mesh's evolution state.
+
+    Exactly one of ``U`` (single-block :class:`~repro.core.mesh.Mesh`) or
+    ``blocks`` (per-sub-grid state of a :class:`~repro.core.mesh.BlockMesh`)
+    is populated.
+    """
 
     step: int
     time: float
-    U: np.ndarray
+    U: np.ndarray | None
     monitor_len: int
+    blocks: dict[tuple[int, int, int], np.ndarray] | None = field(
+        default=None)
 
     @property
     def nbytes(self) -> int:
-        return self.U.nbytes
+        if self.blocks is not None:
+            return sum(b.nbytes for b in self.blocks.values())
+        return self.U.nbytes if self.U is not None else 0
 
 
 class CheckpointManager:
     """Keeps the ``keep`` most recent snapshots of one mesh's state.
 
-    Works with any object exposing ``U`` (ndarray), ``time`` (float) and
-    ``steps`` (int) — i.e. :class:`repro.core.mesh.Mesh`; the optional
-    monitor argument is a
+    Works with any object exposing ``time`` (float), ``steps`` (int) and
+    either ``U`` (ndarray — :class:`repro.core.mesh.Mesh`) or ``blocks``
+    (dict of per-sub-grid ndarrays — :class:`repro.core.mesh.BlockMesh`);
+    the optional monitor argument is a
     :class:`repro.core.stepper.ConservationMonitor` whose record list is
     truncated on restore so post-restore samples line up with the replay.
     """
@@ -69,16 +90,27 @@ class CheckpointManager:
         self.registry = registry or default_registry()
         self._lock = threading.Lock()
         self._checkpoints: list[MeshCheckpoint] = []
+        #: step of the newest save (claimed atomically in maybe_save so
+        #: concurrent callers cannot double-save one step)
+        self._last_saved_step: int | None = None
         self.saves = 0
         self.restores = 0
 
     # -- saving -------------------------------------------------------------
 
-    def save(self, mesh, monitor=None) -> MeshCheckpoint:
-        """Snapshot ``mesh`` now (regardless of the interval)."""
-        cp = MeshCheckpoint(
-            step=mesh.steps, time=mesh.time, U=mesh.U.copy(),
-            monitor_len=len(monitor.records) if monitor is not None else 0)
+    @staticmethod
+    def _snapshot(mesh, monitor) -> MeshCheckpoint:
+        monitor_len = len(monitor.records) if monitor is not None else 0
+        blocks = getattr(mesh, "blocks", None)
+        if blocks is not None:
+            return MeshCheckpoint(
+                step=mesh.steps, time=mesh.time, U=None,
+                monitor_len=monitor_len,
+                blocks={ip: blk.copy() for ip, blk in blocks.items()})
+        return MeshCheckpoint(step=mesh.steps, time=mesh.time,
+                              U=mesh.U.copy(), monitor_len=monitor_len)
+
+    def _store(self, cp: MeshCheckpoint) -> MeshCheckpoint:
         with self._lock:
             self._checkpoints.append(cp)
             del self._checkpoints[:-self.keep]
@@ -89,13 +121,27 @@ class CheckpointManager:
         trace.instant("checkpoint-save", "resilience", step=cp.step)
         return cp
 
-    def maybe_save(self, mesh, monitor=None) -> MeshCheckpoint | None:
-        """Snapshot if ``interval`` steps have passed since the last one."""
+    def save(self, mesh, monitor=None) -> MeshCheckpoint:
+        """Snapshot ``mesh`` now (regardless of the interval)."""
         with self._lock:
-            last = self._checkpoints[-1].step if self._checkpoints else None
-        if last is not None and mesh.steps - last < self.interval:
-            return None
-        return self.save(mesh, monitor)
+            self._last_saved_step = mesh.steps
+        return self._store(self._snapshot(mesh, monitor))
+
+    def maybe_save(self, mesh, monitor=None) -> MeshCheckpoint | None:
+        """Snapshot if ``interval`` steps have passed since the last one.
+
+        The interval check and the claim of the step are one atomic
+        operation: when several worker threads reach the same step, exactly
+        one performs the save (the old read-unlock-save sequence let two
+        threads both observe a stale last step and double-save).
+        """
+        step = mesh.steps
+        with self._lock:
+            if (self._last_saved_step is not None
+                    and step - self._last_saved_step < self.interval):
+                return None
+            self._last_saved_step = step
+        return self._store(self._snapshot(mesh, monitor))
 
     # -- restoring ----------------------------------------------------------
 
@@ -106,9 +152,18 @@ class CheckpointManager:
                 raise CheckpointError("no checkpoint to restore from")
             cp = self._checkpoints[-1]
             self.restores += 1
-        mesh.U[...] = cp.U
+            # replay re-arms the save cadence from the restored step
+            self._last_saved_step = cp.step
+        if cp.blocks is not None:
+            for ip, blk in cp.blocks.items():
+                mesh.blocks[ip][...] = blk
+        else:
+            mesh.U[...] = cp.U
         mesh.time = cp.time
         mesh.steps = cp.step
+        hook = getattr(mesh, "on_restore", None)
+        if hook is not None:
+            hook()
         if monitor is not None:
             del monitor.records[cp.monitor_len:]
         self.registry.increment("/resilience/checkpoint/restores")

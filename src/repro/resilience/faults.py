@@ -79,6 +79,12 @@ class FaultInjector:
     fail_at_steps:
         Explicit step numbers at which :meth:`maybe_step_fault` raises
         (each fires once) — deterministic scheduling for tests.
+    corrupt_at_steps:
+        Step numbers at which :meth:`corruption_due` answers True (each
+        fires once): silent data corruption for the post-stage guards of
+        :class:`repro.core.stepper.GuardedStepper` to catch.  Unlike a
+        step fault, nothing raises — the run only survives if somebody
+        *checks* the state.
     fail_locality_at:
         ``(step, locality)``: :meth:`locality_failure_due` returns the
         locality once when asked about that step.
@@ -94,6 +100,7 @@ class FaultInjector:
                  action_fault_rate: float = 0.0,
                  step_fault_rate: float = 0.0,
                  fail_at_steps: tuple[int, ...] = (),
+                 corrupt_at_steps: tuple[int, ...] = (),
                  fail_locality_at: tuple[int, int] | None = None,
                  max_losses: int | None = None,
                  max_action_faults: int | None = None,
@@ -112,6 +119,7 @@ class FaultInjector:
         self.action_fault_rate = action_fault_rate
         self.step_fault_rate = step_fault_rate
         self._fail_at_steps = set(fail_at_steps)
+        self._corrupt_at_steps = set(corrupt_at_steps)
         self._fail_locality_at = fail_locality_at
         self._budgets = {"loss": max_losses,
                          "action": max_action_faults,
@@ -120,7 +128,7 @@ class FaultInjector:
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
         self.injected = {"loss": 0, "delay": 0, "action": 0, "step": 0,
-                         "locality": 0}
+                         "corruption": 0, "locality": 0}
 
     # -- internals ----------------------------------------------------------
 
@@ -174,6 +182,21 @@ class FaultInjector:
             elif not self._fire("step", self.step_fault_rate):
                 return
         raise SimulationFault(f"injected failure at step {step}")
+
+    def corruption_due(self, step: int) -> bool:
+        """True when step ``step``'s result should be silently corrupted.
+
+        Fires at most once per listed step; the caller (e.g.
+        :class:`repro.core.stepper.GuardedStepper`) applies the actual
+        state damage, so the injector stays physics-agnostic.
+        """
+        with self._lock:
+            if step not in self._corrupt_at_steps:
+                return False
+            self._corrupt_at_steps.discard(step)
+            self.injected["corruption"] += 1
+            self.registry.increment("/resilience/injected/corruption")
+            return True
 
     def locality_failure_due(self, step: int) -> int | None:
         """Locality scheduled to die at ``step`` (fires at most once)."""

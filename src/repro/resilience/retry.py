@@ -36,7 +36,7 @@ from typing import Callable
 
 from ..runtime import trace
 from ..runtime.counters import CounterRegistry, default_registry
-from ..runtime.future import Future, make_exceptional_future
+from ..runtime.future import Future, FutureTimeout, make_exceptional_future
 from ..runtime.parcel import Parcel, ParcelHandler
 from .faults import FaultInjector, TransientActionFault
 
@@ -205,9 +205,13 @@ class ResilientParcelSender:
 
     @staticmethod
     def _is_transient(fut: Future) -> bool:
+        """Typed transient-fault classification (never message sniffing):
+        injected transient action faults and future timeouts are worth a
+        resend; everything else (application errors, failed localities,
+        unknown GIDs) is permanent."""
         try:
-            fut.get()
-        except TransientActionFault:
+            fut.get(timeout=0.0)
+        except (TransientActionFault, FutureTimeout):
             return True
         except BaseException:
             return False

@@ -6,7 +6,8 @@ parcels, channels, a simulated CUDA co-processor, and APEX-style counters.
 """
 
 from . import trace
-from .future import (Future, Promise, FutureError, make_ready_future,
+from .future import (Future, Promise, FutureError, FutureTimeout,
+                     CancelledError, make_ready_future,
                      make_exceptional_future, when_all, when_any, dataflow,
                      async_execute)
 from .scheduler import WorkStealingScheduler, TaskStats
@@ -19,9 +20,9 @@ from .cuda import (CudaDevice, CudaStream, StreamPool, StreamLease,
 from .counters import CounterRegistry, default_registry, counter, gauge, timer
 
 __all__ = [
-    "Future", "Promise", "FutureError", "make_ready_future",
-    "make_exceptional_future", "when_all", "when_any", "dataflow",
-    "async_execute",
+    "Future", "Promise", "FutureError", "FutureTimeout", "CancelledError",
+    "make_ready_future", "make_exceptional_future", "when_all", "when_any",
+    "dataflow", "async_execute",
     "WorkStealingScheduler", "TaskStats",
     "AgasRuntime", "Component", "Gid", "AgasError", "LocalityFailed",
     "Parcel", "ParcelHandler", "EAGER_THRESHOLD", "serialized_size",

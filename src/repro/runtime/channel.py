@@ -120,6 +120,28 @@ class Channel(Generic[T]):
         for p in pending:
             p.set_exception(exc)
 
+    def reset(self) -> None:
+        """Forget all generation state (rollback support).
+
+        A checkpoint restore rewinds the step counter, so halo generations
+        derived from it will be re-used; without a reset, :meth:`set` would
+        reject them as already consumed.  Outstanding gets are failed with
+        :class:`ChannelClosed` (their step is being discarded), buffered
+        values are dropped, and the channel is reopened for the replay.
+        """
+        with self._lock:
+            pending = list(self._promises.values())
+            self._promises.clear()
+            self._ready.clear()
+            self._next_get = 0
+            self._next_set = 0
+            self._consumed_floor = 0
+            self._consumed.clear()
+            self._closed = False
+        exc = ChannelClosed(f"channel {self.name!r} reset while waiting")
+        for p in pending:
+            p.set_exception(exc)
+
     def _mark_consumed(self, generation: int) -> None:
         """Record a matched generation (caller holds the lock)."""
         self._consumed.add(generation)

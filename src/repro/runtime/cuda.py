@@ -25,6 +25,18 @@ No actual GPU is involved (the repro=2 substitution): a "kernel" is any
 Python callable, typically the same vectorized NumPy kernel the CPU path
 uses — mirroring the paper's trick of instantiating the identical cell-to-
 cell function template for both targets.
+
+**Stream health (supervision layer).**  A real production run cannot keep
+re-using a stream whose kernels keep failing (a sick SM, a poisoned
+context): after ``quarantine_threshold`` *consecutive* kernel faults a
+stream is **quarantined** — :meth:`CudaStream._try_reserve` stops handing
+it out, so the launch policy transparently overflows its work to healthy
+streams or the CPU.  After ``quarantine_period`` seconds the stream is
+re-admitted **on probation**: one more fault re-quarantines it
+immediately, one success clears the probation.  Quarantines are counted
+under ``/cuda/quarantined`` (re-admissions under ``/cuda/readmitted``)
+and per-device gauges; :meth:`CudaStream.poison` is the matching
+adversary hook used by the chaos tests.
 """
 
 from __future__ import annotations
@@ -40,7 +52,8 @@ from .future import Future, Promise
 
 __all__ = ["CudaDevice", "CudaStream", "StreamPool", "StreamLease",
            "LaunchPolicy", "DEFAULT_STREAMS_PER_GPU",
-           "DEFAULT_LEASE_TIMEOUT_S"]
+           "DEFAULT_LEASE_TIMEOUT_S", "DEFAULT_QUARANTINE_THRESHOLD",
+           "DEFAULT_QUARANTINE_PERIOD_S"]
 
 #: "usually 128 per GPU" (Sec. 5.1)
 DEFAULT_STREAMS_PER_GPU = 128
@@ -49,6 +62,12 @@ DEFAULT_STREAMS_PER_GPU = 128
 #: acquired a stream but never enqueued, e.g. it raised in between) and
 #: may be reclaimed by the next acquirer
 DEFAULT_LEASE_TIMEOUT_S = 5.0
+
+#: consecutive kernel faults on one stream before it is quarantined
+DEFAULT_QUARANTINE_THRESHOLD = 3
+
+#: seconds a quarantined stream sits out before probationary re-admission
+DEFAULT_QUARANTINE_PERIOD_S = 1.0
 
 
 class CudaStream:
@@ -64,6 +83,13 @@ class CudaStream:
         self._lease_token = 0
         self._lease_deadline = 0.0
         self._last_future: Future | None = None
+        # stream-health state: consecutive-fault streak, quarantine expiry
+        # (0.0 = healthy), probation flag, and the poison adversary hook
+        self._fault_streak = 0
+        self._quarantined_until = 0.0
+        self._probation = False
+        self._poison_left: int | None = 0  # None = poisoned forever
+        self._poison_exc: Callable[[], BaseException] | None = None
 
     def enqueue(self, fn: Callable[..., Any], *args: Any) -> Future:
         """Submit ``fn(*args)`` to the device; returns its future.
@@ -107,10 +133,19 @@ class CudaStream:
         holder (acquired, never enqueued) and is reclaimed here, counted
         under ``/cuda/leases-reclaimed``.
         """
+        readmitted = False
         with self._lock:
             if self._in_flight or self._queue:
                 return None
             now = time.monotonic()
+            if self._quarantined_until > 0.0:
+                if now < self._quarantined_until:
+                    return None
+                # quarantine served: re-admit on probation (one more fault
+                # sends the stream straight back)
+                self._quarantined_until = 0.0
+                self._probation = True
+                readmitted = True
             if self._reserved:
                 if now < self._lease_deadline:
                     return None
@@ -118,7 +153,13 @@ class CudaStream:
             self._reserved = True
             self._lease_token += 1
             self._lease_deadline = now + timeout
-            return self._lease_token
+            token = self._lease_token
+        if readmitted:
+            default_registry().increment("/cuda/readmitted")
+            if trace.TRACING:
+                trace.instant("stream-readmitted", "cuda",
+                              device=self.device.name, stream=self.index)
+        return token
 
     def release(self, token: int | None = None) -> None:
         """Give back a reservation without enqueueing a kernel.
@@ -131,6 +172,67 @@ class CudaStream:
             if token is None or (self._reserved
                                  and self._lease_token == token):
                 self._reserved = False
+
+    # -- stream health -------------------------------------------------------
+
+    def poison(self, count: int | None = None,
+               exc_factory: Callable[[], BaseException] | None = None) -> None:
+        """Make the next ``count`` kernels on this stream fail (adversary).
+
+        ``count=None`` poisons the stream permanently.  Failures surface
+        through the kernel futures as transient faults (default:
+        :class:`repro.resilience.faults.TransientActionFault`), exactly
+        like a sick SM would — the supervision layer must retry the work
+        elsewhere and the health machinery must quarantine the stream.
+        """
+        with self._lock:
+            self._poison_left = count
+            self._poison_exc = exc_factory
+
+    def quarantined(self) -> bool:
+        """True while the stream is sitting out a quarantine."""
+        with self._lock:
+            return (self._quarantined_until > 0.0
+                    and time.monotonic() < self._quarantined_until)
+
+    def _consume_poison(self) -> BaseException | None:
+        """One poison draw (device-worker side); returns the fault or None."""
+        with self._lock:
+            if self._poison_left == 0:
+                return None
+            if self._poison_left is not None:
+                self._poison_left -= 1
+            factory = self._poison_exc
+        if factory is not None:
+            return factory()
+        from ..resilience.faults import TransientActionFault
+        return TransientActionFault(
+            f"poisoned stream {self.index} on {self.device.name}")
+
+    def _record_kernel_outcome(self, ok: bool) -> None:
+        """Track the consecutive-fault streak; quarantine past threshold."""
+        dev = self.device
+        if dev.quarantine_threshold is None:
+            return
+        quarantined = False
+        with self._lock:
+            if ok:
+                self._fault_streak = 0
+                self._probation = False
+                return
+            self._fault_streak += 1
+            threshold = 1 if self._probation else dev.quarantine_threshold
+            if self._fault_streak >= threshold:
+                self._quarantined_until = (time.monotonic()
+                                           + dev.quarantine_period)
+                self._fault_streak = 0
+                self._probation = False
+                quarantined = True
+        if quarantined:
+            default_registry().increment("/cuda/quarantined")
+            if trace.TRACING:
+                trace.instant("stream-quarantined", "cuda",
+                              device=dev.name, stream=self.index)
 
     # -- device side ---------------------------------------------------------
 
@@ -154,15 +256,28 @@ class CudaDevice:
         standing in for streaming multiprocessors).
     peak_gflops:
         Nominal peak, used only for bookkeeping/flop accounting.
+    quarantine_threshold / quarantine_period:
+        Consecutive kernel faults that quarantine a stream, and how long
+        it sits out before probationary re-admission.  ``threshold=None``
+        disables stream-health tracking entirely.
     """
 
     def __init__(self, n_streams: int = DEFAULT_STREAMS_PER_GPU,
                  n_workers: int = 4, peak_gflops: float = 4700.0,
-                 name: str = "sim-gpu"):
+                 name: str = "sim-gpu",
+                 quarantine_threshold: int | None =
+                 DEFAULT_QUARANTINE_THRESHOLD,
+                 quarantine_period: float = DEFAULT_QUARANTINE_PERIOD_S):
         if n_streams < 1 or n_workers < 1:
             raise ValueError("need at least one stream and one worker")
+        if quarantine_threshold is not None and quarantine_threshold < 1:
+            raise ValueError("quarantine threshold must be >= 1 (or None)")
+        if quarantine_period <= 0:
+            raise ValueError("quarantine period must be positive")
         self.name = name
         self.peak_gflops = peak_gflops
+        self.quarantine_threshold = quarantine_threshold
+        self.quarantine_period = quarantine_period
         self.streams = [CudaStream(self, i) for i in range(n_streams)]
         self._work: collections.deque = collections.deque()
         self._cond = threading.Condition()
@@ -197,10 +312,17 @@ class CudaDevice:
                 continue
             fn, args, promise = item
             t0 = time.perf_counter() if trace.TRACING else 0.0
-            try:
-                promise.set_value(fn(*args))
-            except BaseException as exc:
-                promise.set_exception(exc)
+            poison = stream._consume_poison()
+            if poison is not None:
+                promise.set_exception(poison)
+                stream._record_kernel_outcome(ok=False)
+            else:
+                try:
+                    promise.set_value(fn(*args))
+                    stream._record_kernel_outcome(ok=True)
+                except BaseException as exc:
+                    promise.set_exception(exc)
+                    stream._record_kernel_outcome(ok=False)
             if trace.TRACING:
                 trace.default_recorder().complete(
                     getattr(fn, "__name__", "kernel"), "cuda",
@@ -233,6 +355,8 @@ class CudaDevice:
                            float(len(self.streams)))
         registry.set_gauge(f"/cuda/{self.name}/streams-busy",
                            float(sum(s.busy() for s in self.streams)))
+        registry.set_gauge(f"/cuda/{self.name}/streams-quarantined",
+                           float(sum(s.quarantined() for s in self.streams)))
 
     def shutdown(self) -> None:
         with self._cond:

@@ -15,6 +15,19 @@ Unlike ``concurrent.futures``, continuations here are scheduled through a
 pluggable executor (by default the calling thread, in tests and in the
 scheduler a work-stealing pool), which mirrors HPX's behaviour of running
 continuations as ordinary tasks rather than on a dedicated callback thread.
+
+Two extensions underpin the supervision layer of
+:mod:`repro.resilience.supervisor`:
+
+* **cancellation** — :meth:`Future.cancel` resolves a pending future with
+  :class:`CancelledError` and, crucially, turns any *late* completion by
+  the producer into a silent no-op instead of a double-set error, so a
+  task that has been given up on cannot crash its worker or leak a
+  pending future;
+* **deadlines** — :meth:`Future.set_deadline` attaches an absolute
+  ``time.monotonic`` deadline that propagates through ``then`` /
+  ``when_all`` / ``dataflow`` derived futures; ``get``/``wait`` never
+  block past it (``get`` raises :class:`FutureTimeout`).
 """
 
 from __future__ import annotations
@@ -29,6 +42,8 @@ __all__ = [
     "Future",
     "Promise",
     "FutureError",
+    "FutureTimeout",
+    "CancelledError",
     "make_ready_future",
     "make_exceptional_future",
     "when_all",
@@ -62,6 +77,20 @@ class FutureError(RuntimeError):
     """Raised on invalid future usage (double-set, get-before-ready, ...)."""
 
 
+class FutureTimeout(FutureError):
+    """``get`` gave up waiting (explicit timeout or deadline expiry).
+
+    Distinct from a *stored* exception: a :class:`FutureTimeout` raised by
+    ``get`` means the future is still pending — the resilience layers use
+    the type (never message sniffing) to classify the outcome as
+    transient and retry.
+    """
+
+
+class CancelledError(FutureError):
+    """The future was cancelled before a value arrived."""
+
+
 _PENDING = "pending"
 _READY = "ready"
 _EXCEPTIONAL = "exceptional"
@@ -75,7 +104,7 @@ class Future:
     """
 
     __slots__ = ("_lock", "_cond", "_state", "_value", "_exception",
-                 "_callbacks", "_executor")
+                 "_callbacks", "_executor", "_cancelled", "_deadline")
 
     def __init__(self, executor: Callable[[Callable[[], None]], None] | None = None):
         self._lock = threading.Lock()
@@ -85,6 +114,8 @@ class Future:
         self._exception: BaseException | None = None
         self._callbacks: list[Callable[[Future], None]] = []
         self._executor = executor
+        self._cancelled = False
+        self._deadline: float | None = None
 
     # -- state inspection -------------------------------------------------
 
@@ -97,11 +128,70 @@ class Future:
         with self._lock:
             return self._state == _EXCEPTIONAL
 
+    def cancelled(self) -> bool:
+        """True when :meth:`cancel` resolved this future."""
+        with self._lock:
+            return self._cancelled
+
+    # -- deadlines ---------------------------------------------------------
+
+    @property
+    def deadline(self) -> float | None:
+        """Absolute ``time.monotonic`` deadline, or ``None``."""
+        with self._lock:
+            return self._deadline
+
+    def set_deadline(self, deadline: float | None) -> "Future":
+        """Attach an absolute monotonic deadline; returns ``self``.
+
+        ``get``/``wait`` never block past the deadline, and futures derived
+        through ``then``/``recover`` inherit it, so an entire continuation
+        chain is bounded by one supervision decision.  An earlier deadline
+        already present is kept.
+        """
+        with self._lock:
+            if deadline is not None and (self._deadline is None
+                                         or deadline < self._deadline):
+                self._deadline = deadline
+        return self
+
+    def _clamp_timeout(self, timeout: float | None) -> float | None:
+        """Effective wait bound: the smaller of ``timeout`` and deadline."""
+        with self._lock:
+            deadline = self._deadline
+        if deadline is None:
+            return timeout
+        remaining = max(deadline - time.monotonic(), 0.0)
+        return remaining if timeout is None else min(timeout, remaining)
+
+    # -- cancellation ------------------------------------------------------
+
+    def cancel(self, reason: str = "") -> bool:
+        """Resolve a pending future with :class:`CancelledError`.
+
+        Returns True when the cancellation won the race with the producer.
+        After a successful cancel, a late ``set_value``/``set_exception``
+        from the producer is silently dropped — the abandoned task cannot
+        crash its worker thread or resurrect the future.
+        """
+        with self._cond:
+            if self._state != _PENDING:
+                return False
+            self._cancelled = True
+            self._exception = CancelledError(reason or "future cancelled")
+            self._state = _EXCEPTIONAL
+            callbacks, self._callbacks = self._callbacks, []
+            self._cond.notify_all()
+        self._run_callbacks(callbacks)
+        return True
+
     # -- completion (used by Promise and combinators) ----------------------
 
     def _set_value(self, value: Any) -> None:
         with self._cond:
             if self._state != _PENDING:
+                if self._cancelled:
+                    return  # late completion of a cancelled future
                 raise FutureError("future already satisfied")
             self._value = value
             self._state = _READY
@@ -112,6 +202,8 @@ class Future:
     def _set_exception(self, exc: BaseException) -> None:
         with self._cond:
             if self._state != _PENDING:
+                if self._cancelled:
+                    return  # late failure of a cancelled future
                 raise FutureError("future already satisfied")
             self._exception = exc
             self._state = _EXCEPTIONAL
@@ -145,20 +237,30 @@ class Future:
     # -- retrieval ---------------------------------------------------------
 
     def get(self, timeout: float | None = None) -> Any:
-        """Block until ready; return the value or raise the stored exception."""
+        """Block until ready; return the value or raise the stored exception.
+
+        Raises :class:`FutureTimeout` when ``timeout`` (or the future's
+        deadline) expires first — the future itself stays pending.
+        """
+        bound = self._clamp_timeout(timeout)
         with self._cond:
             if self._state == _PENDING and not self._cond.wait_for(
-                    lambda: self._state != _PENDING, timeout):
-                raise FutureError("timed out waiting for future")
+                    lambda: self._state != _PENDING, bound):
+                raise FutureTimeout(
+                    f"timed out waiting for future after {bound}s")
             if self._state == _EXCEPTIONAL:
                 assert self._exception is not None
                 raise self._exception
             return self._value
 
     def wait(self, timeout: float | None = None) -> bool:
-        """Block until ready without consuming the value. Returns readiness."""
+        """Block until ready without consuming the value. Returns readiness.
+
+        Never blocks past the future's deadline (if one is set).
+        """
+        bound = self._clamp_timeout(timeout)
         with self._cond:
-            return self._cond.wait_for(lambda: self._state != _PENDING, timeout)
+            return self._cond.wait_for(lambda: self._state != _PENDING, bound)
 
     # -- composition ---------------------------------------------------------
 
@@ -168,9 +270,11 @@ class Future:
 
         Returns a new future holding ``fn``'s result.  If ``fn`` returns a
         future itself the result is unwrapped (monadic bind), matching
-        ``hpx::future::then`` + automatic unwrapping.
+        ``hpx::future::then`` + automatic unwrapping.  The derived future
+        inherits this future's deadline.
         """
         result = Future(executor=executor or self._executor)
+        result.set_deadline(self.deadline)
 
         def run(fut: "Future") -> None:
             try:
@@ -262,6 +366,8 @@ def when_all(futures: Iterable[Future]) -> Future:
     """
     futs = list(futures)
     result = Future()
+    for f in futs:
+        result.set_deadline(f.deadline)  # earliest input deadline wins
     if not futs:
         result._set_value([])
         return result
@@ -317,6 +423,8 @@ def dataflow(fn: Callable[..., Any], *args: Any,
     """
     fut_args = [a for a in args if isinstance(a, Future)]
     result = Future(executor=executor)
+    for a in fut_args:
+        result.set_deadline(a.deadline)
 
     def fire(_: Future) -> None:
         try:

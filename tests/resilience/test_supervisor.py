@@ -1,0 +1,135 @@
+"""SupervisedEngine: bounded re-execution of transiently failing tasks."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.exec import ExecutionEngine
+from repro.resilience import (FaultInjector, SupervisedEngine,
+                              TransientActionFault)
+from repro.runtime import CounterRegistry, WorkStealingScheduler
+
+
+class TestSupervisedExecution:
+    def test_plain_execution_passes_through(self):
+        reg = CounterRegistry()
+        eng = SupervisedEngine(registry=reg)
+        futs = eng.map(lambda x: x + 1, [(i,) for i in range(5)])
+        assert [f.get() for f in futs] == [1, 2, 3, 4, 5]
+        snap = reg.snapshot()
+        assert snap["/resilience/tasks/submitted"] == 5.0
+        assert snap.get("/resilience/tasks/retried", 0.0) == 0.0
+
+    def test_transient_faults_are_retried_to_success(self):
+        reg = CounterRegistry()
+        inj = FaultInjector(seed=11, action_fault_rate=1.0,
+                            max_action_faults=4, registry=reg)
+        eng = SupervisedEngine(injector=inj, max_retries=5, registry=reg)
+        futs = eng.map(lambda x: x * x, [(i,) for i in range(8)])
+        assert [f.get(timeout=5.0) for f in futs] == [i * i
+                                                     for i in range(8)]
+        snap = reg.snapshot()
+        assert snap["/resilience/tasks/retried"] == 4.0
+        assert snap["/resilience/tasks/recovered"] >= 1.0
+        assert snap.get("/resilience/tasks/gave-up", 0.0) == 0.0
+        assert inj.stats()["action"] == 4
+
+    def test_retry_happens_on_scheduler_too(self):
+        reg = CounterRegistry()
+        inj = FaultInjector(seed=5, action_fault_rate=1.0,
+                            max_action_faults=3, registry=reg)
+        with WorkStealingScheduler(2) as sched:
+            eng = SupervisedEngine(scheduler=sched, injector=inj,
+                                   max_retries=4, registry=reg)
+            futs = eng.map(lambda x: -x, [(i,) for i in range(12)])
+            assert [f.get(timeout=10.0) for f in futs] == \
+                [-i for i in range(12)]
+        assert reg.snapshot()["/resilience/tasks/retried"] == 3.0
+
+    def test_gives_up_after_budget(self):
+        reg = CounterRegistry()
+        eng = SupervisedEngine(max_retries=2, registry=reg)
+
+        def always_fails():
+            raise TransientActionFault("permanent transient")
+
+        fut = eng.submit(always_fails)
+        with pytest.raises(TransientActionFault):
+            fut.get(timeout=5.0)
+        snap = reg.snapshot()
+        assert snap["/resilience/tasks/retried"] == 2.0  # attempts = 3
+        assert snap["/resilience/tasks/gave-up"] == 1.0
+
+    def test_application_errors_are_not_retried(self):
+        reg = CounterRegistry()
+        calls = []
+
+        def boom():
+            calls.append(1)
+            raise ValueError("a real bug")
+
+        eng = SupervisedEngine(max_retries=5, registry=reg)
+        with pytest.raises(ValueError, match="a real bug"):
+            eng.submit(boom).get(timeout=5.0)
+        assert len(calls) == 1
+        assert reg.snapshot().get("/resilience/tasks/retried", 0.0) == 0.0
+
+    def test_retried_results_bit_identical_to_unsupervised(self):
+        """Supervision must not change the numbers, only their delivery."""
+        rng = np.random.default_rng(3)
+        batches = [(rng.standard_normal(64),) for _ in range(6)]
+
+        def kernel(x):
+            return np.sort(x) * 2.0 + 1.0
+
+        plain = [f.get() for f in
+                 ExecutionEngine().map(kernel, batches)]
+        reg = CounterRegistry()
+        inj = FaultInjector(seed=2, action_fault_rate=0.8,
+                            max_action_faults=5, registry=reg)
+        eng = SupervisedEngine(injector=inj, max_retries=8, registry=reg)
+        supervised = [f.get(timeout=10.0) for f in
+                      eng.map(kernel, batches)]
+        for a, b in zip(plain, supervised):
+            assert np.array_equal(a, b)
+        assert reg.snapshot()["/resilience/tasks/retried"] >= 1.0
+
+    def test_results_keep_input_order_under_concurrency(self):
+        reg = CounterRegistry()
+        inj = FaultInjector(seed=9, action_fault_rate=0.3,
+                            max_action_faults=10, registry=reg)
+        barrier = threading.Barrier(2, timeout=5.0)
+
+        def slow_id(i):
+            # stagger execution so completion order differs from input
+            if i % 2 == 0:
+                try:
+                    barrier.wait()
+                except threading.BrokenBarrierError:
+                    pass
+            return i
+
+        with WorkStealingScheduler(4) as sched:
+            eng = SupervisedEngine(scheduler=sched, injector=inj,
+                                   max_retries=6, registry=reg)
+            futs = eng.map(slow_id, [(i,) for i in range(16)])
+            assert [f.get(timeout=10.0) for f in futs] == list(range(16))
+
+    def test_engine_surface_is_passed_through(self):
+        with WorkStealingScheduler(1) as sched:
+            inner = ExecutionEngine(scheduler=sched)
+            eng = SupervisedEngine(inner)
+            assert eng.scheduler is sched
+            assert eng.pool is None
+            assert eng.devices == []
+            assert eng.gpu_fraction == 0.0
+            eng.synchronize()
+
+    def test_rejects_engine_plus_resources(self):
+        with pytest.raises(ValueError):
+            SupervisedEngine(ExecutionEngine(), device=object())
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError):
+            SupervisedEngine(max_retries=-1)

@@ -1,0 +1,137 @@
+"""Cancellation, deadlines and typed timeouts on futures."""
+
+import time
+
+import pytest
+
+from repro.runtime import (CancelledError, FutureError, FutureTimeout,
+                           Promise, dataflow, make_ready_future, when_all)
+
+
+class TestCancel:
+    def test_cancel_pending_future(self):
+        p = Promise()
+        f = p.get_future()
+        assert f.cancel("no longer needed")
+        assert f.cancelled()
+        assert f.is_ready() and f.has_exception()
+        with pytest.raises(CancelledError, match="no longer needed"):
+            f.get()
+
+    def test_cancel_loses_race_with_producer(self):
+        p = Promise()
+        f = p.get_future()
+        p.set_value(42)
+        assert not f.cancel()
+        assert not f.cancelled()
+        assert f.get() == 42
+
+    def test_late_completion_after_cancel_is_swallowed(self):
+        p = Promise()
+        f = p.get_future()
+        assert f.cancel()
+        # the abandoned producer finishing later must not raise nor
+        # resurrect the future
+        p.set_value("late")
+        with pytest.raises(CancelledError):
+            f.get()
+        p2 = Promise()
+        f2 = p2.get_future()
+        assert f2.cancel()
+        p2.set_exception(RuntimeError("late failure"))
+        with pytest.raises(CancelledError):
+            f2.get()
+
+    def test_double_set_still_raises_without_cancel(self):
+        p = Promise()
+        p.set_value(1)
+        with pytest.raises(FutureError):
+            p.set_value(2)
+
+    def test_cancel_runs_callbacks(self):
+        p = Promise()
+        f = p.get_future()
+        seen = []
+        f.then(lambda fut: seen.append(fut.has_exception()))
+        f.cancel()
+        assert seen == [True]
+
+    def test_cancelled_error_is_future_error(self):
+        assert issubclass(CancelledError, FutureError)
+
+
+class TestTimeouts:
+    def test_get_timeout_raises_typed_exception(self):
+        f = Promise().get_future()
+        with pytest.raises(FutureTimeout):
+            f.get(timeout=0.0)
+
+    def test_future_timeout_is_future_error(self):
+        # existing callers catching FutureError keep working
+        assert issubclass(FutureTimeout, FutureError)
+
+    def test_ready_future_ignores_timeout(self):
+        assert make_ready_future(5).get(timeout=0.0) == 5
+
+
+class TestDeadlines:
+    def test_expired_deadline_bounds_get(self):
+        f = Promise().get_future()
+        f.set_deadline(time.monotonic() - 1.0)
+        t0 = time.monotonic()
+        with pytest.raises(FutureTimeout):
+            f.get()  # no explicit timeout: the deadline bounds the wait
+        assert time.monotonic() - t0 < 0.5
+
+    def test_deadline_keeps_earliest(self):
+        f = Promise().get_future()
+        early = time.monotonic() + 1.0
+        f.set_deadline(early)
+        f.set_deadline(early + 100.0)
+        assert f.deadline == early
+
+    def test_deadline_clamps_explicit_timeout(self):
+        f = Promise().get_future()
+        f.set_deadline(time.monotonic())  # already due
+        t0 = time.monotonic()
+        with pytest.raises(FutureTimeout):
+            f.get(timeout=30.0)
+        assert time.monotonic() - t0 < 0.5
+
+    def test_wait_respects_deadline(self):
+        f = Promise().get_future()
+        f.set_deadline(time.monotonic() + 0.01)
+        assert f.wait() is False
+
+    def test_then_inherits_deadline(self):
+        p = Promise()
+        f = p.get_future()
+        dl = time.monotonic() + 50.0
+        f.set_deadline(dl)
+        g = f.then(lambda fut: fut.get() + 1)
+        assert g.deadline == dl
+
+    def test_when_all_inherits_earliest_deadline(self):
+        p1, p2 = Promise(), Promise()
+        f1, f2 = p1.get_future(), p2.get_future()
+        dl1 = time.monotonic() + 10.0
+        dl2 = time.monotonic() + 20.0
+        f1.set_deadline(dl1)
+        f2.set_deadline(dl2)
+        combined = when_all([f1, f2])
+        assert combined.deadline == dl1
+
+    def test_dataflow_inherits_deadline(self):
+        p = Promise()
+        f = p.get_future()
+        dl = time.monotonic() + 10.0
+        f.set_deadline(dl)
+        out = dataflow(lambda a: a, f)
+        assert out.deadline == dl
+
+    def test_deadline_in_future_does_not_block_ready_value(self):
+        p = Promise()
+        f = p.get_future()
+        f.set_deadline(time.monotonic() + 100.0)
+        p.set_value("ok")
+        assert f.get() == "ok"
