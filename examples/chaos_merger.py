@@ -10,9 +10,15 @@ detection with automatic AGAS evacuation, guarded stepping with
 checkpoint rollback) each engage at least once, and the final state plus
 conservation drifts come out **byte-identical** to a fault-free run.
 
+With ``REPRO_SANITIZE=1`` the dynamic sanitizers watch the whole run
+(lock orders, the future wait-for graph, lease/channel protocols) and a
+quiesce-point sweep runs after the chaotic evolution: the chaos gauntlet
+must come out with **zero findings** — CI enforces this.
+
 Run:  python examples/chaos_merger.py
 """
 
+from repro import sanitize
 from repro.analysis import format_report
 from repro.resilience.chaos import ChaosConfig, run_chaos_merger
 from repro.runtime.counters import default_registry
@@ -34,6 +40,15 @@ def main() -> None:
         print(f"  {key:<18} {val:.3e}")
     print()
     print(format_report(registry))
+
+    if sanitize.enabled():
+        sanitize.sweep()
+        sanitize.publish_counters(registry)
+        print()
+        print(sanitize.report())
+        if sanitize.finding_count():
+            raise SystemExit(
+                "sanitizers reported findings during the chaos run")
 
     if not result.bitwise_identical:
         raise SystemExit("chaos run diverged from the fault-free run")

@@ -1,0 +1,318 @@
+"""Repo-specific AST lint pass (the static prong of the sanitizers).
+
+Generic linters cannot know that this codebase's scheduler deadlocks when
+a worker blocks on an unbounded ``Future.get``, or that counter names
+must live under a registered section.  This module encodes those
+invariants as AST rules and runs them over the source tree::
+
+    python -m repro.analysis.lint src          # exit 0 when clean
+    python -m repro.analysis.lint --rules      # rule catalogue
+
+Rules
+-----
+
+REPRO001 *blocking-get-in-task*
+    An unbounded ``.get()`` / ``.result()`` call inside a thunk posted to
+    the scheduler (``post`` / ``post_batch`` / ``submit``).  A worker
+    blocking on an unresolved future is a lost core at best and — when
+    every worker does it — a deadlock; compose with ``then`` /
+    ``dataflow`` or pass a timeout instead.  (Checked on inline lambdas;
+    a thunk defined elsewhere is out of static reach — the dynamic
+    ``blocked-worker`` checker covers it at runtime.)
+
+REPRO002 *unguarded-lease*
+    A ``StreamPool.acquire()`` result bound to a name that is neither
+    used as a context manager nor released in a ``finally`` block in the
+    same function.  An exception between acquire and enqueue then leaks
+    the reservation until the lease timeout reclaims it.
+
+REPRO003 *nondeterminism-in-kernel*
+    Wall-clock (``time.time`` / ``time.time_ns``) or random-number calls
+    in ``core/`` — the solver layer is bit-identical by contract
+    (futurized and serial executions must produce the same bits), so
+    kernels must not read nondeterministic sources.
+
+REPRO004 *unknown-counter-section*
+    A counter-name literal ``/section/...`` whose first component is not
+    registered in :data:`repro.runtime.counters.KNOWN_SECTIONS`.  A typo
+    such as ``/thread/executed`` silently creates a parallel section no
+    dashboard aggregates; new sections must be registered deliberately.
+
+REPRO005 *bare-except*
+    A bare ``except:`` in ``runtime/`` or ``resilience/``.  The runtime
+    redistributes failures on purpose (futures carry exceptions, the
+    supervisor replays tasks); a bare except also traps
+    ``KeyboardInterrupt``/``SystemExit`` and turns shutdown into a hang.
+    Catch a concrete type, or ``BaseException`` *with* re-dispatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..runtime.counters import KNOWN_SECTIONS
+
+__all__ = ["Violation", "RULES", "lint_source", "lint_file", "lint_paths",
+           "main"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit: where, which rule, and what to do about it."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+#: rule id -> (slug, one-line description) — the ``--rules`` catalogue
+RULES: dict[str, tuple[str, str]] = {
+    "REPRO001": ("blocking-get-in-task",
+                 "unbounded .get()/.result() inside a thunk posted to the "
+                 "scheduler stalls a worker; use then/dataflow or a timeout"),
+    "REPRO002": ("unguarded-lease",
+                 "StreamPool.acquire() result must be guarded by `with` or "
+                 "released in a finally block"),
+    "REPRO003": ("nondeterminism-in-kernel",
+                 "core/ kernels are bit-identical by contract: no wall-clock "
+                 "or random-number reads"),
+    "REPRO004": ("unknown-counter-section",
+                 "counter names are /section/name with a registered section "
+                 "(see repro.runtime.counters.KNOWN_SECTIONS)"),
+    "REPRO005": ("bare-except",
+                 "bare `except:` in runtime/ or resilience/ swallows "
+                 "shutdown signals; name the exception type"),
+}
+
+#: scheduler entry points whose callable arguments become task bodies
+_POST_METHODS = {"post", "post_batch", "submit"}
+
+#: registry methods / module-level helpers taking a counter-name literal
+_COUNTER_METHODS = {"increment", "set_gauge", "record_time", "timer_stats",
+                    "value", "time"}
+_COUNTER_FUNCS = {"counter", "gauge", "timer"}
+
+#: wall-clock / randomness calls banned from core/ (REPRO003)
+_NONDET_TIME = {"time", "time_ns"}
+
+
+def _is_unbounded_get(node: ast.Call) -> bool:
+    """A zero-argument ``x.get()`` / ``x.result()`` call."""
+    return (isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("get", "result")
+            and not node.args and not node.keywords)
+
+
+def _counter_name_literal(node: ast.expr) -> str | None:
+    """The literal prefix of a counter-name argument, if statically known.
+
+    Handles plain strings and f-strings whose *first* chunk is a literal
+    (``f"/cuda/{name}/busy"`` yields ``"/cuda/"``).
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr) and node.values:
+        head = node.values[0]
+        if isinstance(head, ast.Constant) and isinstance(head.value, str):
+            return head.value
+    return None
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, rel: str):
+        self.path = path
+        #: repo-relative path with forward slashes, for scoped rules
+        self.rel = rel.replace("\\", "/")
+        self.violations: list[Violation] = []
+        self.in_core = "/core/" in f"/{self.rel}"
+        self.guarded_scope = ("/runtime/" in f"/{self.rel}"
+                              or "/resilience/" in f"/{self.rel}")
+
+    def _hit(self, node: ast.AST, rule: str, message: str) -> None:
+        self.violations.append(
+            Violation(self.path, getattr(node, "lineno", 0), rule, message))
+
+    # -- REPRO001 ---------------------------------------------------------
+
+    def _check_task_body(self, fn: ast.expr) -> None:
+        if not isinstance(fn, ast.Lambda):
+            return
+        for sub in ast.walk(fn.body):
+            if isinstance(sub, ast.Call) and _is_unbounded_get(sub):
+                self._hit(sub, "REPRO001",
+                          f"unbounded .{sub.func.attr}() inside a task "
+                          "posted to the scheduler can stall a worker; "
+                          "chain with then/dataflow or pass a timeout")
+
+    # -- REPRO002 ---------------------------------------------------------
+
+    @staticmethod
+    def _is_pool_acquire(node: ast.expr) -> bool:
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "acquire"
+                and "pool" in ast.unparse(node.func.value).lower())
+
+    def _check_lease_guards(self, fn: ast.AST) -> None:
+        """Every ``x = <pool>.acquire()`` needs ``with x`` or a finally."""
+        acquired: dict[str, ast.AST] = {}
+        for sub in ast.walk(fn):
+            if (isinstance(sub, ast.Assign) and self._is_pool_acquire(sub.value)
+                    and len(sub.targets) == 1
+                    and isinstance(sub.targets[0], ast.Name)):
+                acquired[sub.targets[0].id] = sub
+        if not acquired:
+            return
+        guarded: set[str] = set()
+        for sub in ast.walk(fn):
+            if isinstance(sub, ast.With):
+                for item in sub.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Name):
+                        guarded.add(expr.id)
+            elif isinstance(sub, ast.Try) and sub.finalbody:
+                for stmt in sub.finalbody:
+                    for call in ast.walk(stmt):
+                        if (isinstance(call, ast.Call)
+                                and isinstance(call.func, ast.Attribute)
+                                and call.func.attr == "release"
+                                and isinstance(call.func.value, ast.Name)):
+                            guarded.add(call.func.value.id)
+        for name, node in acquired.items():
+            if name not in guarded:
+                self._hit(node, "REPRO002",
+                          f"lease {name!r} from StreamPool.acquire() is "
+                          "neither used as a context manager nor released "
+                          "in a finally block; an exception here leaks the "
+                          "stream until the lease timeout")
+
+    # -- visitors ---------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # REPRO001: thunks handed to the scheduler
+        if (isinstance(func, ast.Attribute) and func.attr in _POST_METHODS):
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                self._check_task_body(arg)
+                # post_batch takes an iterable of thunks
+                if isinstance(arg, (ast.List, ast.Tuple, ast.ListComp,
+                                    ast.GeneratorExp)):
+                    for sub in ast.walk(arg):
+                        if isinstance(sub, ast.Lambda):
+                            self._check_task_body(sub)
+        # REPRO003: nondeterminism in core kernels
+        if self.in_core and isinstance(func, ast.Attribute):
+            base = ast.unparse(func.value)
+            if base == "time" and func.attr in _NONDET_TIME:
+                self._hit(node, "REPRO003",
+                          f"time.{func.attr}() in core/ breaks bit-identical "
+                          "execution; take timestamps in the runtime layer")
+            elif base in ("random", "np.random", "numpy.random"):
+                self._hit(node, "REPRO003",
+                          f"{base}.{func.attr}() in core/ breaks "
+                          "bit-identical execution; inject a seeded "
+                          "generator from the caller instead")
+        # REPRO004: counter-name sections
+        name_arg = None
+        if (isinstance(func, ast.Attribute) and func.attr in _COUNTER_METHODS
+                and node.args):
+            name_arg = node.args[0]
+        elif (isinstance(func, ast.Name) and func.id in _COUNTER_FUNCS
+                and node.args):
+            name_arg = node.args[0]
+        if name_arg is not None:
+            literal = _counter_name_literal(name_arg)
+            if literal is not None and literal.startswith("/"):
+                section = literal.split("/")[1] if "/" in literal[1:] else ""
+                if section and section not in KNOWN_SECTIONS:
+                    self._hit(name_arg, "REPRO004",
+                              f"counter section {section!r} (in "
+                              f"{literal!r}) is not registered in "
+                              "repro.runtime.counters.KNOWN_SECTIONS")
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_lease_guards(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_lease_guards(node)
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if self.guarded_scope and node.type is None:
+            self._hit(node, "REPRO005",
+                      "bare `except:` traps KeyboardInterrupt/SystemExit "
+                      "and hides faults from the supervisor; catch a "
+                      "concrete exception type")
+        self.generic_visit(node)
+
+
+def lint_source(source: str, path: str = "<string>",
+                rel: str | None = None) -> list[Violation]:
+    """Lint one source string; ``rel`` scopes the path-dependent rules."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Violation(path, exc.lineno or 0, "REPRO000",
+                          f"syntax error: {exc.msg}")]
+    linter = _Linter(path, rel if rel is not None else path)
+    linter.visit(tree)
+    return sorted(linter.violations, key=lambda v: (v.line, v.rule))
+
+
+def lint_file(path: Path, root: Path | None = None) -> list[Violation]:
+    rel = str(path.relative_to(root)) if root else str(path)
+    return lint_source(path.read_text(encoding="utf-8"), str(path), rel)
+
+
+def _iter_files(paths: Iterable[str]) -> Iterator[tuple[Path, Path]]:
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                yield f, p
+        elif p.suffix == ".py":
+            yield p, p.parent
+
+
+def lint_paths(paths: Iterable[str]) -> list[Violation]:
+    out: list[Violation] = []
+    for f, root in _iter_files(paths):
+        out.extend(lint_file(f, root))
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="repo-specific AST lint pass (REPRO001..REPRO005)")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+    if args.rules:
+        for rule_id, (slug, desc) in sorted(RULES.items()):
+            print(f"{rule_id}  {slug}: {desc}")
+        return 0
+    violations = lint_paths(args.paths)
+    for v in violations:
+        print(v)
+    print(f"{len(violations)} violation(s) in "
+          f"{len(set(v.path for v in violations))} file(s)"
+          if violations else "clean")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

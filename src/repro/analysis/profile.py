@@ -179,6 +179,13 @@ def format_report(registry: CounterRegistry | None = None) -> str:
         sections.append(format_table(
             ["counter", "value"], rows, title="step model (/simulator)"))
 
+    san = groups.get("sanitize")
+    if san:
+        rows = [[k, int(v)] for k, v in sorted(san.items())]
+        sections.append(format_table(
+            ["counter", "value"], rows,
+            title="sanitizers (/sanitize) — findings by hazard kind"))
+
     if not sections:
         return "(no counters recorded)"
     return "\n\n".join(sections)
@@ -251,6 +258,9 @@ def run_example_scenario(registry: CounterRegistry | None = None,
 
     future_mod.publish_counters(registry)
     parcelport_mod.publish_counters(registry)
+    from .. import sanitize
+    if sanitize.enabled():
+        sanitize.publish_counters(registry)
     return {
         "kernel_sum": float(total),
         "gpu_launches": policy.gpu_launches,
@@ -288,6 +298,11 @@ def main(argv: list[str] | None = None) -> int:
     report = format_report(registry)
     print(report)
     print()
+    from .. import sanitize
+    if sanitize.enabled():
+        sanitize.sweep()
+        print(sanitize.report())
+        print()
     print(f"gravity phase: {outcome['gpu_launches']} GPU / "
           f"{outcome['cpu_launches']} CPU kernel launches, "
           f"reduction = {outcome['kernel_sum']:.3f}")

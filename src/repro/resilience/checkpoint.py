@@ -30,13 +30,13 @@ threads asking at the same step cannot double-save it.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..runtime import trace
 from ..runtime.counters import CounterRegistry, default_registry
+from ..sanitize import lockdep as _sanitize_lockdep
 
 __all__ = ["CheckpointError", "MeshCheckpoint", "CheckpointManager"]
 
@@ -88,7 +88,7 @@ class CheckpointManager:
         self.interval = interval
         self.keep = keep
         self.registry = registry or default_registry()
-        self._lock = threading.Lock()
+        self._lock = _sanitize_lockdep.make_lock("checkpoint.manager")
         self._checkpoints: list[MeshCheckpoint] = []
         #: step of the newest save (claimed atomically in maybe_save so
         #: concurrent callers cannot double-save one step)

@@ -13,7 +13,8 @@ from .future import (Future, Promise, FutureError, FutureTimeout,
 from .scheduler import WorkStealingScheduler, TaskStats
 from .agas import AgasRuntime, Component, Gid, AgasError, LocalityFailed
 from .parcel import Parcel, ParcelHandler, EAGER_THRESHOLD, serialized_size
-from .channel import Channel, ChannelClosed
+from .channel import (Channel, ChannelError, ChannelClosed, ChannelReset,
+                      ChannelGenerationError)
 from .cuda import (CudaDevice, CudaStream, StreamPool, StreamLease,
                    LaunchPolicy, DEFAULT_STREAMS_PER_GPU,
                    DEFAULT_LEASE_TIMEOUT_S)
@@ -26,7 +27,8 @@ __all__ = [
     "WorkStealingScheduler", "TaskStats",
     "AgasRuntime", "Component", "Gid", "AgasError", "LocalityFailed",
     "Parcel", "ParcelHandler", "EAGER_THRESHOLD", "serialized_size",
-    "Channel", "ChannelClosed",
+    "Channel", "ChannelError", "ChannelClosed", "ChannelReset",
+    "ChannelGenerationError",
     "CudaDevice", "CudaStream", "StreamPool", "StreamLease", "LaunchPolicy",
     "DEFAULT_STREAMS_PER_GPU", "DEFAULT_LEASE_TIMEOUT_S",
     "CounterRegistry", "default_registry", "counter", "gauge", "timer",

@@ -10,22 +10,51 @@ exchange; the key property is that *receives may be posted before sends*
 (the future is handed out immediately and satisfied later) and values are
 matched strictly by generation number, so a fast neighbour can run several
 timesteps ahead without overwriting anything.
+
+Protocol violations raise typed errors (the :class:`ChannelError`
+hierarchy) and — when the sanitizers are enabled — are additionally
+recorded as findings by :mod:`repro.sanitize.protocol`, so a caller that
+swallows the exception cannot also swallow the report.
 """
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Generic, TypeVar
 
+from ..sanitize import lockdep as _sanitize_lockdep
+from ..sanitize import protocol as _sanitize_protocol
+from ..sanitize import state as _sanitize_state
 from .future import Future, Promise
 
-__all__ = ["Channel", "ChannelClosed"]
+__all__ = ["Channel", "ChannelError", "ChannelClosed", "ChannelReset",
+           "ChannelGenerationError"]
 
 T = TypeVar("T")
 
 
-class ChannelClosed(RuntimeError):
+class ChannelError(RuntimeError):
+    """Base class for channel protocol violations."""
+
+
+class ChannelClosed(ChannelError):
     """Raised when interacting with a closed channel."""
+
+
+class ChannelReset(ChannelClosed):
+    """Raised into gets outstanding when :meth:`Channel.reset` discards them.
+
+    A subclass of :class:`ChannelClosed` so existing handlers that treat a
+    reset like a close keep working, while rollback-aware callers can tell
+    the two apart (a reset channel is open again; a closed one is not).
+    """
+
+
+class ChannelGenerationError(ChannelError, ValueError):
+    """Raised on a re-``set`` of a generation (already set or consumed).
+
+    Also a :class:`ValueError` for backwards compatibility with callers
+    (and tests) written against the untyped error this used to be.
+    """
 
 
 class Channel(Generic[T]):
@@ -34,11 +63,31 @@ class Channel(Generic[T]):
     ``set(value, generation)`` fulfils the matching ``get(generation)``;
     either side may go first.  Without explicit generations the channel
     behaves as a FIFO pipe (auto-incrementing counters on each side).
+
+    **Generation protocol.**  Each generation number moves through at most
+    three states, in order: *unset* → *set* (a value is buffered or an
+    outstanding get is fulfilled) → *consumed* (the value was matched to a
+    get).  The transitions are single-shot:
+
+    * a generation may be ``set`` at most once —
+      :class:`ChannelGenerationError` on a re-set, whether the first value
+      is still buffered ("already set") or was already matched ("already
+      consumed").  Halo exchange relies on this: a double-set means two
+      timesteps computed the same boundary, and silently keeping either
+      value would hide the divergence;
+    * ``set`` after :meth:`close` raises :class:`ChannelClosed` — the
+      value could never be delivered;
+    * :meth:`close` fails *unmatched* gets with :class:`ChannelClosed`
+      but lets already-set generations drain;
+    * :meth:`reset` (checkpoint rollback) is the one sanctioned way to
+      re-use generation numbers: it discards all generation state, fails
+      outstanding gets with :class:`ChannelReset`, and reopens the
+      channel for the replay.
     """
 
     def __init__(self, name: str = ""):
         self.name = name
-        self._lock = threading.Lock()
+        self._lock = _sanitize_lockdep.make_lock("channel.Channel")
         self._promises: dict[int, Promise] = {}
         self._ready: dict[int, Any] = {}
         self._next_get = 0
@@ -82,18 +131,30 @@ class Channel(Generic[T]):
         """Publish ``value`` for ``generation`` (default: next in order)."""
         with self._lock:
             if self._closed:
-                raise ChannelClosed(f"channel {self.name!r} is closed")
+                if _sanitize_state.ACTIVE:
+                    _sanitize_protocol.channel_closed_set(
+                        self.name, generation)
+                raise ChannelClosed(
+                    f"set on closed channel {self.name!r} "
+                    f"(generation={generation}); the value can never be "
+                    "delivered")
             if generation is None:
                 generation = self._next_set
                 self._next_set += 1
             else:
                 self._next_set = max(self._next_set, generation + 1)
             if generation in self._ready:
-                raise ValueError(
+                if _sanitize_state.ACTIVE:
+                    _sanitize_protocol.channel_reset_generation(
+                        self.name, generation, "already set")
+                raise ChannelGenerationError(
                     f"generation {generation} already set on channel {self.name!r}")
             if (generation < self._consumed_floor
                     or generation in self._consumed):
-                raise ValueError(
+                if _sanitize_state.ACTIVE:
+                    _sanitize_protocol.channel_reset_generation(
+                        self.name, generation, "already consumed")
+                raise ChannelGenerationError(
                     f"generation {generation} already consumed on channel "
                     f"{self.name!r}; refusing to re-set")
             promise = self._promises.pop(generation, None)
@@ -126,7 +187,7 @@ class Channel(Generic[T]):
         A checkpoint restore rewinds the step counter, so halo generations
         derived from it will be re-used; without a reset, :meth:`set` would
         reject them as already consumed.  Outstanding gets are failed with
-        :class:`ChannelClosed` (their step is being discarded), buffered
+        :class:`ChannelReset` (their step is being discarded), buffered
         values are dropped, and the channel is reopened for the replay.
         """
         with self._lock:
@@ -138,7 +199,7 @@ class Channel(Generic[T]):
             self._consumed_floor = 0
             self._consumed.clear()
             self._closed = False
-        exc = ChannelClosed(f"channel {self.name!r} reset while waiting")
+        exc = ChannelReset(f"channel {self.name!r} reset while waiting")
         for p in pending:
             p.set_exception(exc)
 

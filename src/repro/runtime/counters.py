@@ -18,7 +18,29 @@ import time
 from contextlib import contextmanager
 from typing import Iterator
 
-__all__ = ["CounterRegistry", "default_registry", "counter", "gauge", "timer"]
+__all__ = ["CounterRegistry", "default_registry", "counter", "gauge", "timer",
+           "KNOWN_SECTIONS"]
+
+#: Registered top-level counter sections.  Counter names are hierarchical
+#: paths ``/section/name[/sub...]``; the first component must be one of
+#: these.  The lint pass (``python -m repro.analysis.lint``, rule
+#: REPRO004) enforces this against every counter-name literal in the
+#: source tree, so a typo like ``/thread/executed`` cannot silently
+#: create a parallel section that dashboards never aggregate.  Extend the
+#: set here when introducing a genuinely new subsystem.
+KNOWN_SECTIONS = frozenset({
+    "agas",        # global address space (runtime/agas.py)
+    "cuda",        # device/stream/launch statistics (runtime/cuda.py)
+    "exec",        # futurized execution engine (core/exec.py)
+    "fmm",         # fast multipole gravity solver (core/gravity/fmm.py)
+    "futures",     # future/continuation dispatch (runtime/future.py)
+    "hydro",       # hydrodynamics kernels (core/mesh.py)
+    "parcels",     # parcelport traffic (network/parcelport.py)
+    "resilience",  # faults, retry, checkpoints, supervision
+    "sanitize",    # sanitizer findings (sanitize/state.py)
+    "simulator",   # distributed-run simulator (simulator/distributed.py)
+    "threads",     # work-stealing scheduler (runtime/scheduler.py)
+})
 
 
 class _Timer:
@@ -44,6 +66,11 @@ class CounterRegistry:
     """Thread-safe registry of named counters, gauges and timers."""
 
     def __init__(self) -> None:
+        # Deliberately a *plain* lock, not a sanitize.make_lock: the
+        # registry is a leaf — the sanitizers themselves bump counters
+        # while recording findings, so a tracked lock here would recurse
+        # into the checker.  Nothing may call out of the registry while
+        # holding this lock.
         self._lock = threading.Lock()
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}

@@ -47,6 +47,9 @@ import time
 from typing import Any, Callable
 
 from . import trace
+from ..sanitize import lockdep as _sanitize_lockdep
+from ..sanitize import protocol as _sanitize_protocol
+from ..sanitize import state as _sanitize_state
 from .counters import CounterRegistry, default_registry
 from .future import Future, Promise
 
@@ -76,7 +79,7 @@ class CudaStream:
     def __init__(self, device: "CudaDevice", index: int):
         self.device = device
         self.index = index
-        self._lock = threading.Lock()
+        self._lock = _sanitize_lockdep.make_lock("cuda.stream")
         self._queue: collections.deque = collections.deque()
         self._in_flight = False
         self._reserved = False
@@ -150,6 +153,8 @@ class CudaStream:
                 if now < self._lease_deadline:
                     return None
                 default_registry().increment("/cuda/leases-reclaimed")
+                if _sanitize_state.ACTIVE:
+                    _sanitize_protocol.lease_reclaimed()
             self._reserved = True
             self._lease_token += 1
             self._lease_deadline = now + timeout
@@ -280,10 +285,10 @@ class CudaDevice:
         self.quarantine_period = quarantine_period
         self.streams = [CudaStream(self, i) for i in range(n_streams)]
         self._work: collections.deque = collections.deque()
-        self._cond = threading.Condition()
+        self._cond = _sanitize_lockdep.make_condition("cuda.device")
         self._shutdown = False
         self.kernels_executed = 0
-        self._stats_lock = threading.Lock()
+        self._stats_lock = _sanitize_lockdep.make_lock("cuda.device-stats")
         self._threads = [
             threading.Thread(target=self._worker_loop,
                              name=f"{name}-sm-{i}", daemon=True)
@@ -382,21 +387,27 @@ class StreamLease:
     stream until the lease timeout reclaims it.
     """
 
-    __slots__ = ("stream", "_token", "_consumed")
+    __slots__ = ("stream", "_token", "_consumed", "_san_seq", "__weakref__")
 
     def __init__(self, stream: CudaStream, token: int):
         self.stream = stream
         self._token = token
         self._consumed = False
+        if _sanitize_state.ACTIVE:
+            _sanitize_protocol.lease_created(self)
 
     def enqueue(self, fn: Callable[..., Any], *args: Any) -> Future:
         """Launch a kernel on the leased stream, consuming the lease."""
+        if _sanitize_state.ACTIVE:
+            _sanitize_protocol.lease_consumed(self)
         self._consumed = True
         return self.stream.enqueue(fn, *args)
 
     def release(self) -> None:
         """Return the reservation unless a kernel was already enqueued."""
         if not self._consumed:
+            if _sanitize_state.ACTIVE:
+                _sanitize_protocol.lease_released(self)
             self._consumed = True
             self.stream.release(self._token)
 
@@ -424,7 +435,7 @@ class StreamPool:
             raise ValueError("lease timeout must be positive")
         self.devices = devices
         self.lease_timeout = lease_timeout
-        self._lock = threading.Lock()
+        self._lock = _sanitize_lockdep.make_lock("cuda.pool")
         self._rr = 0
 
     def acquire(self) -> StreamLease | None:
@@ -459,7 +470,13 @@ class StreamPool:
         cannot be leaked by an exception between acquire and enqueue.
         """
         lease = self.acquire()
-        return lease.stream if lease is not None else None
+        if lease is None:
+            return None
+        if _sanitize_state.ACTIVE:
+            # the reservation now lives on the raw stream, not the lease
+            # object we are about to drop — not a leak
+            _sanitize_protocol.lease_handoff(lease)
+        return lease.stream
 
     @property
     def n_streams(self) -> int:
@@ -477,7 +494,7 @@ class LaunchPolicy:
 
     def __init__(self, pool: StreamPool):
         self.pool = pool
-        self._lock = threading.Lock()
+        self._lock = _sanitize_lockdep.make_lock("cuda.launch-policy")
         self.gpu_launches = 0
         self.cpu_launches = 0
 

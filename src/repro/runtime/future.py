@@ -28,6 +28,12 @@ Two extensions underpin the supervision layer of
   ``time.monotonic`` deadline that propagates through ``then`` /
   ``when_all`` / ``dataflow`` derived futures; ``get``/``wait`` never
   block past it (``get`` raises :class:`FutureTimeout`).
+
+When :mod:`repro.sanitize` is enabled at creation time, every future is
+registered with the future-graph watcher (creation site, dependency
+edges through ``then``/``when_all``/``dataflow``/unwrapping, resolution
+and error-consumption events) and every lock is order-checked by the
+lockdep layer; disabled, the hooks reduce to one module-attribute read.
 """
 
 from __future__ import annotations
@@ -37,6 +43,9 @@ import time
 from typing import Any, Callable, Iterable, Sequence
 
 from . import trace
+from ..sanitize import futuregraph as _sanitize_graph
+from ..sanitize import lockdep as _sanitize_lockdep
+from ..sanitize import state as _sanitize_state
 
 __all__ = [
     "Future",
@@ -54,8 +63,12 @@ __all__ = [
     "publish_counters",
 ]
 
-# continuation-dispatch tally for the /futures/... counters
-_dispatch_lock = threading.Lock()
+# Continuation-dispatch tally for the /futures/... counters.  This lock
+# guards *only* the integer bump in _dispatch — it must never be held
+# while a callback/thunk runs (audited; the sanitizer's
+# callback-under-lock checker enforces it at runtime when enabled, and
+# tests/runtime/test_future_dispatch_lock.py regresses it).
+_dispatch_lock = _sanitize_lockdep.make_lock("future.dispatch-tally")
 _dispatched = 0
 
 
@@ -104,10 +117,11 @@ class Future:
     """
 
     __slots__ = ("_lock", "_cond", "_state", "_value", "_exception",
-                 "_callbacks", "_executor", "_cancelled", "_deadline")
+                 "_callbacks", "_executor", "_cancelled", "_deadline",
+                 "_san_seq", "__weakref__")
 
     def __init__(self, executor: Callable[[Callable[[], None]], None] | None = None):
-        self._lock = threading.Lock()
+        self._lock = _sanitize_lockdep.make_lock("future.Future")
         self._cond = threading.Condition(self._lock)
         self._state = _PENDING
         self._value: Any = None
@@ -116,6 +130,9 @@ class Future:
         self._executor = executor
         self._cancelled = False
         self._deadline: float | None = None
+        self._san_seq: int | None = None
+        if _sanitize_state.ACTIVE:
+            _sanitize_graph.register_future(self)
 
     # -- state inspection -------------------------------------------------
 
@@ -182,6 +199,8 @@ class Future:
             self._state = _EXCEPTIONAL
             callbacks, self._callbacks = self._callbacks, []
             self._cond.notify_all()
+        if self._san_seq is not None:
+            _sanitize_graph.on_resolved(self, self._exception, cancelled=True)
         self._run_callbacks(callbacks)
         return True
 
@@ -197,6 +216,8 @@ class Future:
             self._state = _READY
             callbacks, self._callbacks = self._callbacks, []
             self._cond.notify_all()
+        if self._san_seq is not None:
+            _sanitize_graph.on_resolved(self)
         self._run_callbacks(callbacks)
 
     def _set_exception(self, exc: BaseException) -> None:
@@ -209,16 +230,29 @@ class Future:
             self._state = _EXCEPTIONAL
             callbacks, self._callbacks = self._callbacks, []
             self._cond.notify_all()
+        if self._san_seq is not None:
+            _sanitize_graph.on_resolved(self, exc)
         self._run_callbacks(callbacks)
 
     def _run_callbacks(self, callbacks: Sequence[Callable[[Future], None]]) -> None:
+        # INVARIANT (enforced by the sanitizer's callback-under-lock
+        # checker): every caller releases this future's lock *and* any
+        # module lock before invoking callbacks — a continuation may
+        # complete other futures, post to the scheduler, or touch
+        # channels, and doing that under a runtime lock inverts against
+        # every lock those subsystems take.
         for cb in callbacks:
             self._dispatch(lambda cb=cb: cb(self))
 
     def _dispatch(self, thunk: Callable[[], None]) -> None:
         global _dispatched
         with _dispatch_lock:
+            # tally only — never widen this critical section around the
+            # thunk below: a synchronous thunk runs arbitrary user code
             _dispatched += 1
+        if _sanitize_state.ACTIVE and self._executor is None:
+            # the thunk will run user code on *this* thread, right now
+            _sanitize_lockdep.check_no_locks_held("future callback dispatch")
         if trace.TRACING:
             inner = thunk
 
@@ -244,12 +278,24 @@ class Future:
         """
         bound = self._clamp_timeout(timeout)
         with self._cond:
-            if self._state == _PENDING and not self._cond.wait_for(
-                    lambda: self._state != _PENDING, bound):
-                raise FutureTimeout(
-                    f"timed out waiting for future after {bound}s")
+            if self._state == _PENDING:
+                if (_sanitize_state.ACTIVE and bound is None
+                        and _sanitize_graph.on_scheduler_worker()):
+                    # stall detector: an *unbounded* wait on a scheduler
+                    # worker is the dynamic face of lint rule REPRO001 —
+                    # give the future a grace period, then report
+                    stall = _sanitize_state.config.stall_timeout
+                    if not self._cond.wait_for(
+                            lambda: self._state != _PENDING, stall):
+                        _sanitize_graph.record_blocked_worker(self, stall)
+                if not self._cond.wait_for(
+                        lambda: self._state != _PENDING, bound):
+                    raise FutureTimeout(
+                        f"timed out waiting for future after {bound}s")
             if self._state == _EXCEPTIONAL:
                 assert self._exception is not None
+                if _sanitize_state.ACTIVE and self._san_seq is not None:
+                    _sanitize_graph.mark_error_consumed(self)
                 raise self._exception
             return self._value
 
@@ -275,6 +321,8 @@ class Future:
         """
         result = Future(executor=executor or self._executor)
         result.set_deadline(self.deadline)
+        if _sanitize_state.ACTIVE:
+            _sanitize_graph.add_dependency(result, self)
 
         def run(fut: "Future") -> None:
             try:
@@ -283,6 +331,12 @@ class Future:
                 result._set_exception(exc)
                 return
             if isinstance(out, Future):
+                # monadic unwrap: the result now waits on the returned
+                # future — the one edge wired at *run* time, so a callback
+                # returning its own result (or an ancestor of it) closes a
+                # wait-for cycle the sanitizer can flag
+                if _sanitize_state.ACTIVE:
+                    _sanitize_graph.add_dependency(result, out)
                 out.then(lambda f: _forward(f, result))
             else:
                 result._set_value(out)
@@ -368,6 +422,8 @@ def when_all(futures: Iterable[Future]) -> Future:
     result = Future()
     for f in futs:
         result.set_deadline(f.deadline)  # earliest input deadline wins
+        if _sanitize_state.ACTIVE:
+            _sanitize_graph.add_dependency(result, f)
     if not futs:
         result._set_value([])
         return result
@@ -425,6 +481,8 @@ def dataflow(fn: Callable[..., Any], *args: Any,
     result = Future(executor=executor)
     for a in fut_args:
         result.set_deadline(a.deadline)
+        if _sanitize_state.ACTIVE:
+            _sanitize_graph.add_dependency(result, a)
 
     def fire(_: Future) -> None:
         try:
@@ -434,6 +492,8 @@ def dataflow(fn: Callable[..., Any], *args: Any,
             result._set_exception(exc)
             return
         if isinstance(out, Future):
+            if _sanitize_state.ACTIVE:
+                _sanitize_graph.add_dependency(result, out)
             out.then(lambda f: _forward(f, result))
         else:
             result._set_value(out)
@@ -457,6 +517,8 @@ def async_execute(fn: Callable[..., Any], *args: Any,
             result._set_exception(exc)
             return
         if isinstance(out, Future):
+            if _sanitize_state.ACTIVE:
+                _sanitize_graph.add_dependency(result, out)
             out.then(lambda f: _forward(f, result))
         else:
             result._set_value(out)

@@ -33,6 +33,8 @@ import time
 from typing import Any, Callable
 
 from . import trace
+from ..sanitize import lockdep as _sanitize_lockdep
+from ..sanitize import state as _sanitize_state
 from .counters import CounterRegistry, default_registry
 from .future import Future, async_execute
 
@@ -142,6 +144,10 @@ class _Worker(threading.Thread):
     def _execute(self, task: Callable[[], None]) -> None:
         sched = self.sched
         t0 = time.perf_counter() if trace.TRACING else 0.0
+        if _sanitize_state.ACTIVE:
+            # a worker must enter user code lock-free: anything it still
+            # held here would be pinned for the whole task body
+            _sanitize_lockdep.check_no_locks_held("scheduler task body")
         try:
             task()
         except BaseException as exc:  # tasks must not kill workers
@@ -182,9 +188,9 @@ class WorkStealingScheduler:
             raise ValueError("need at least one worker")
         self._inbox: collections.deque = collections.deque()
         self._workers = [_Worker(self, i) for i in range(n_workers)]
-        self._stats_lock = threading.Lock()
+        self._stats_lock = _sanitize_lockdep.make_lock("scheduler.stats")
         self.stats = TaskStats(n_workers)
-        self._idle_cond = threading.Condition()
+        self._idle_cond = _sanitize_lockdep.make_condition("scheduler.idle")
         self._idle_workers = 0
         self._pending = 0
         self._wake_seq = 0

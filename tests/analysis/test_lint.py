@@ -1,0 +1,180 @@
+"""The repo-specific lint pass: every rule fires on its fixture, the
+repo's own source tree stays clean, and the CLI exit codes are right."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import RULES, lint_paths, lint_source, main
+
+
+def _lint(src, rel="repro/somewhere/mod.py"):
+    return lint_source(textwrap.dedent(src), path=rel, rel=rel)
+
+
+# -- REPRO001: blocking get in task bodies --------------------------------
+
+def test_repro001_unbounded_get_in_posted_lambda():
+    vs = _lint("sched.post(lambda: upstream.get())")
+    assert [v.rule for v in vs] == ["REPRO001"]
+    assert "stall a worker" in vs[0].message
+
+
+def test_repro001_result_in_submit_and_post_batch():
+    vs = _lint("""
+        sched.submit(lambda: f.result())
+        sched.post_batch([lambda: g.get() for g in futs])
+    """)
+    assert [v.rule for v in vs] == ["REPRO001", "REPRO001"]
+
+
+def test_repro001_timeout_and_non_task_gets_are_clean():
+    assert _lint("sched.post(lambda: f.get(1.0))") == []
+    assert _lint("value = f.get()") == []  # not inside a posted thunk
+    assert _lint("sched.post(lambda: mapping.get)") == []
+
+
+# -- REPRO002: unguarded stream leases ------------------------------------
+
+def test_repro002_unguarded_acquire():
+    vs = _lint("""
+        def launch(self):
+            lease = self.pool.acquire()
+            return lease.enqueue(kernel)
+    """)
+    assert [v.rule for v in vs] == ["REPRO002"]
+    assert "leaks the stream" in vs[0].message
+
+
+def test_repro002_with_and_finally_are_clean():
+    assert _lint("""
+        def launch(self):
+            lease = self.pool.acquire()
+            if lease is not None:
+                with lease:
+                    return lease.enqueue(kernel)
+            return None
+    """) == []
+    assert _lint("""
+        def launch(self):
+            lease = stream_pool.acquire()
+            try:
+                return lease.enqueue(kernel)
+            finally:
+                lease.release()
+    """) == []
+
+
+# -- REPRO003: nondeterminism in core kernels -----------------------------
+
+def test_repro003_wall_clock_in_core():
+    vs = _lint("""
+        import time
+        def kernel(U):
+            return U * time.time()
+    """, rel="repro/core/hydro.py")
+    assert [v.rule for v in vs] == ["REPRO003"]
+    assert "bit-identical" in vs[0].message
+
+
+def test_repro003_random_in_core():
+    vs = _lint("""
+        import random
+        import numpy as np
+        def kernel(U):
+            return U + random.random() + np.random.rand()
+    """, rel="repro/core/hydro.py")
+    assert [v.rule for v in vs] == ["REPRO003", "REPRO003"]
+
+
+def test_repro003_only_applies_to_core():
+    src = "import time\nx = time.time()\n"
+    assert _lint(src, rel="repro/runtime/trace_util.py") == []
+    assert [v.rule for v in _lint(src, rel="repro/core/mesh2.py")] \
+        == ["REPRO003"]
+
+
+def test_repro003_perf_counter_allowed_in_core():
+    assert _lint("import time\nt = time.perf_counter()\n",
+                 rel="repro/core/mesh2.py") == []
+
+
+# -- REPRO004: counter-name sections --------------------------------------
+
+def test_repro004_unknown_section():
+    vs = _lint("registry.increment('/thread/executed')")
+    assert [v.rule for v in vs] == ["REPRO004"]
+    assert "'thread'" in vs[0].message
+
+
+def test_repro004_fstring_head_is_checked():
+    vs = _lint('registry.set_gauge(f"/gpu/{name}/busy", 1.0)')
+    assert [v.rule for v in vs] == ["REPRO004"]
+
+
+def test_repro004_known_sections_and_helpers_clean():
+    assert _lint("""
+        registry.increment('/threads/executed')
+        registry.set_gauge(f"/cuda/{name}/busy", 1.0)
+        counter('/resilience/retries')
+        gauge('/sanitize/findings-live', 0.0)
+        with registry.time('/fmm/solve'):
+            pass
+    """) == []
+
+
+def test_repro004_non_counter_strings_ignored():
+    assert _lint("path.startswith('/not/a/counter')") == []
+
+
+# -- REPRO005: bare except in runtime/resilience --------------------------
+
+def test_repro005_bare_except_in_runtime():
+    vs = _lint("""
+        try:
+            f()
+        except:
+            pass
+    """, rel="repro/runtime/worker.py")
+    assert [v.rule for v in vs] == ["REPRO005"]
+
+
+def test_repro005_typed_except_and_other_dirs_clean():
+    typed = """
+        try:
+            f()
+        except BaseException as exc:
+            record(exc)
+    """
+    assert _lint(typed, rel="repro/runtime/worker.py") == []
+    bare = "try:\n    f()\nexcept:\n    pass\n"
+    assert _lint(bare, rel="repro/analysis/tool.py") == []
+    assert [v.rule for v in _lint(bare, rel="repro/resilience/sup.py")] \
+        == ["REPRO005"]
+
+
+# -- syntax errors, repo cleanliness, CLI ---------------------------------
+
+def test_syntax_error_is_reported_not_raised():
+    vs = _lint("def broken(:\n")
+    assert [v.rule for v in vs] == ["REPRO000"]
+
+
+def test_repo_source_tree_is_clean():
+    from pathlib import Path
+    src = Path(__file__).resolve().parents[2] / "src"
+    assert lint_paths([str(src)]) == []
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    assert main(["--rules"]) == 0
+    assert set(RULES) <= set(capsys.readouterr().out.split())
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert main([str(clean)]) == 0
+    assert "clean" in capsys.readouterr().out
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("sched.post(lambda: f.get())\n")
+    assert main([str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "REPRO001" in out and "1 violation" in out

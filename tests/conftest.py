@@ -3,7 +3,48 @@
 import numpy as np
 import pytest
 
+from repro import sanitize
+
 
 @pytest.fixture
 def rng():
     return np.random.default_rng(0xBEEF)
+
+
+@pytest.fixture
+def san():
+    """Sanitizers enabled with pristine graphs; restores prior state.
+
+    Objects built inside the test (futures, locks, leases) are
+    instrumented; tests inject hazards inside ``sanitize.scope()`` so the
+    global findings list — asserted empty by ``_sanitize_guard`` — stays
+    clean.
+    """
+    was_enabled = sanitize.enabled()
+    sanitize.enable()
+    sanitize.reset_graphs()
+    yield sanitize
+    sanitize.reset_graphs()
+    if not was_enabled:
+        sanitize.disable()
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_guard(request):
+    """Fail any test that leaks *global* sanitizer findings.
+
+    Under ``REPRO_SANITIZE=1`` the whole suite doubles as a sanitizer
+    run: a finding recorded outside a ``sanitize.scope()`` means either a
+    real runtime hazard or an adversarial test missing the
+    ``sanitize_tolerated`` marker.  Inert when the sanitizers are off.
+    """
+    before = sanitize.finding_count()
+    yield
+    if request.node.get_closest_marker("sanitize_tolerated"):
+        sanitize.clear()
+        return
+    leaked = sanitize.findings()[before:]
+    assert not leaked, (
+        "test leaked sanitizer findings (wrap injected hazards in "
+        "sanitize.scope() or mark the test sanitize_tolerated):\n"
+        + "\n".join(f"  {f}" for f in leaked))

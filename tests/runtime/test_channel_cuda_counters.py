@@ -40,11 +40,15 @@ class TestChannel:
             ch.set(g * 10, g)
         assert [f.get() for f in futs] == [0, 10, 20, 30]
 
+    @pytest.mark.sanitize_tolerated
+
     def test_duplicate_generation_set_rejected(self):
         ch = Channel()
         ch.set("x", 7)
         with pytest.raises(ValueError):
             ch.set("y", 7)
+
+    @pytest.mark.sanitize_tolerated
 
     def test_close_fails_pending_gets(self):
         ch = Channel("halo")
@@ -79,6 +83,8 @@ class TestChannel:
         with pytest.raises(ChannelClosed):
             ch.get()
 
+    @pytest.mark.sanitize_tolerated
+
     def test_reset_of_consumed_generation_rejected(self):
         """Regression: once generation g is consumed, a second set(g) must
         raise instead of silently becoming a fresh value."""
@@ -88,6 +94,8 @@ class TestChannel:
         with pytest.raises(ValueError, match="already consumed"):
             ch.set(2, 0)
 
+    @pytest.mark.sanitize_tolerated
+
     def test_reset_after_promise_match_rejected(self):
         ch = Channel()
         fut = ch.get(5)
@@ -95,6 +103,8 @@ class TestChannel:
         assert fut.get() == "v"
         with pytest.raises(ValueError, match="already consumed"):
             ch.set("w", 5)
+
+    @pytest.mark.sanitize_tolerated
 
     def test_out_of_order_generations_not_falsely_rejected(self):
         """Consuming a high generation must not block a lower, never-set

@@ -1,0 +1,69 @@
+"""Typed channel error hierarchy and close/reset semantics."""
+
+import pytest
+
+from repro.runtime import (Channel, ChannelClosed, ChannelError,
+                           ChannelGenerationError, ChannelReset)
+
+
+def test_error_hierarchy():
+    assert issubclass(ChannelClosed, ChannelError)
+    assert issubclass(ChannelReset, ChannelClosed)
+    assert issubclass(ChannelGenerationError, ChannelError)
+    # backwards compatibility: generic handlers keep working
+    assert issubclass(ChannelError, RuntimeError)
+    assert issubclass(ChannelGenerationError, ValueError)
+
+
+@pytest.mark.sanitize_tolerated
+
+
+def test_set_after_close_is_typed_and_descriptive():
+    ch = Channel("halo-x")
+    ch.close()
+    with pytest.raises(ChannelClosed) as exc:
+        ch.set(1, generation=4)
+    assert "halo-x" in str(exc.value)
+    assert "generation=4" in str(exc.value)
+
+
+@pytest.mark.sanitize_tolerated
+
+
+def test_double_set_raises_generation_error():
+    ch = Channel("halo-y")
+    ch.set(1, generation=0)
+    with pytest.raises(ChannelGenerationError, match="already set"):
+        ch.set(2, generation=0)
+    # legacy callers catching ValueError still work
+    with pytest.raises(ValueError):
+        ch.set(2, generation=0)
+
+
+def test_reset_delivers_channel_reset_not_plain_closed():
+    ch = Channel("halo-z")
+    pending = ch.get(3)
+    ch.reset()
+    with pytest.raises(ChannelReset):
+        pending.get()
+    # reset reopened the channel: generation reuse is sanctioned
+    ch.set(9, generation=3)
+    assert ch.get(3).get() == 9
+
+
+def test_close_delivers_closed_not_reset():
+    ch = Channel("halo-w")
+    pending = ch.get(0)
+    ch.close()
+    with pytest.raises(ChannelClosed) as exc:
+        pending.get()
+    assert not isinstance(exc.value, ChannelReset)
+    with pytest.raises(ChannelClosed):
+        ch.get(1)
+
+
+def test_close_still_drains_buffered_generations():
+    ch = Channel("halo-v")
+    ch.set(5, generation=0)
+    ch.close()
+    assert ch.get(0).get() == 5

@@ -54,6 +54,8 @@ class TestStreamLease:
         gpu.synchronize()
         assert not gpu.streams[0].busy()
 
+    @pytest.mark.sanitize_tolerated
+
     def test_expired_lease_is_reclaimed_and_counted(self, gpu):
         reg = default_registry()
         reg.reset()
@@ -66,6 +68,8 @@ class TestStreamLease:
         assert lease is not None
         assert reg.snapshot().get("/cuda/leases-reclaimed") == 1.0
         lease.release()
+
+    @pytest.mark.sanitize_tolerated
 
     def test_stale_release_cannot_clobber_new_holder(self, gpu):
         pool = StreamPool([gpu], lease_timeout=0.05)
@@ -93,6 +97,7 @@ class TestStreamLease:
 
 
 class TestLeaseReclaimUnderFaults:
+    @pytest.mark.sanitize_tolerated
     def test_faulting_holders_cannot_pin_streams(self):
         """Many threads crash between acquire and enqueue (holding their
         lease forever) while others run kernels that themselves raise.
