@@ -8,13 +8,21 @@ twice from the same initial state —
 
 * **serial**: no scheduler, no device; the bit-identical reference;
 * **futurized**: per-block RHS tasks on a work-stealing scheduler and
-  FMM interaction batches routed GPU-stream-else-CPU-worker through an
+  FMM interaction batches coalesced into aggregated GPU-stream launches
+  (with CPU overflow) through an
   :class:`repro.core.exec.ExecutionEngine`
 
 — verifies the two end states are byte-identical, and writes
-``BENCH_step.json`` with wall times, zone-update/interaction rates and
-the hot-path counters (``/cuda/launched/*``, ``/threads/stolen``,
-``/fmm/*``).
+``BENCH_step.json`` with wall times, zone-update/interaction rates, the
+work-aggregation ratio and the hot-path counters (``/cuda/launched/*``,
+``/cuda/agg-*``, ``/threads/stolen``, ``/fmm/*``).
+
+Timing is **paired and noise-robust**: the two variants advance their
+meshes in lock-step (serial step ``k``, then futurized step ``k``) and
+each variant is scored by its *fastest* step.  Interleaving exposes
+both variants to the same background load; min-of-N discards slow
+outliers from shared-host memory-bandwidth contention — the same
+estimator ``timeit`` uses.
 
 Run from the repo root::
 
@@ -23,8 +31,10 @@ Run from the repo root::
     PYTHONPATH=src python benchmarks/bench_step.py --check    # regression gate
 
 ``--check`` exits nonzero if the futurized throughput falls below
-``--threshold`` (default 0.8) times the serial throughput, or if the
-two runs diverge bitwise.
+``--threshold`` (default 1.0: aggregation must make futurized *beat*
+serial) times the serial throughput, if the two runs diverge bitwise,
+or if the aggregation ratio ``/cuda/aggregated-per-launch`` is not
+above ``--min-agg`` (default 4).
 """
 
 from __future__ import annotations
@@ -45,6 +55,9 @@ from repro.core.scenario import equilibrium_star  # noqa: E402
 from repro.runtime import CudaDevice, WorkStealingScheduler  # noqa: E402
 from repro.runtime.counters import default_registry  # noqa: E402
 
+#: counters whose per-step delta feeds the interaction rate
+_RATE_KEYS = ("/fmm/interactions/multipole", "/fmm/interactions/monopole")
+
 
 def build_mesh(bpe: int, engine: ExecutionEngine | None = None) -> BlockMesh:
     """A Lane-Emden star tiled into ``bpe**3`` sub-grids."""
@@ -56,27 +69,31 @@ def build_mesh(bpe: int, engine: ExecutionEngine | None = None) -> BlockMesh:
     return mesh
 
 
-def run_steps(mesh: BlockMesh, warmup: int, steps: int) -> dict:
-    """Warm up (records the FMM pair script), then time ``steps`` steps."""
+def timed_step(mesh: BlockMesh) -> tuple[float, float]:
+    """One step; returns (wall seconds, FMM interactions performed)."""
     reg = default_registry()
-    for _ in range(warmup):
-        mesh.step()
-    before = reg.snapshot()
+    before = [reg.snapshot().get(k, 0.0) for k in _RATE_KEYS]
     t0 = time.perf_counter()
-    for _ in range(steps):
-        mesh.step()
+    mesh.step()
     seconds = time.perf_counter() - t0
     after = reg.snapshot()
-    interactions = sum(
-        after.get(k, 0.0) - before.get(k, 0.0)
-        for k in ("/fmm/interactions/multipole", "/fmm/interactions/monopole"))
-    zones = mesh.n ** 3 * steps
+    interactions = sum(after.get(k, 0.0) - b
+                       for k, b in zip(_RATE_KEYS, before))
+    return seconds, interactions
+
+
+def summarize(mesh: BlockMesh, walls: list[float],
+              interactions: list[float]) -> dict:
+    """Best-step throughput summary for one variant."""
+    best = min(walls)
+    zones = mesh.n ** 3
+    per_step = interactions[walls.index(best)]
     return {
-        "seconds": seconds,
-        "steps": steps,
-        "zone_updates_per_s": zones / seconds if seconds > 0 else 0.0,
-        "fmm_interactions_per_s": (interactions / seconds
-                                   if seconds > 0 else 0.0),
+        "seconds": best,
+        "step_seconds": walls,
+        "steps": len(walls),
+        "zone_updates_per_s": zones / best if best > 0 else 0.0,
+        "fmm_interactions_per_s": per_step / best if best > 0 else 0.0,
     }
 
 
@@ -97,65 +114,92 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default="BENCH_step.json",
                         help="output JSON path (default BENCH_step.json)")
     parser.add_argument("--smoke", action="store_true",
-                        help="CI configuration (4^3 blocks, 1 timed step) "
+                        help="CI configuration (4^3 blocks, 4 timed steps) "
                              "unless --blocks/--steps are given")
     parser.add_argument("--check", action="store_true",
                         help="exit nonzero on bitwise divergence or if "
                              "futurized throughput < threshold * serial")
-    parser.add_argument("--threshold", type=float, default=0.8,
+    parser.add_argument("--threshold", type=float, default=1.0,
                         help="minimum futurized/serial throughput ratio "
-                             "for --check (default 0.8)")
+                             "for --check (default 1.0)")
+    parser.add_argument("--min-agg", type=float, default=4.0,
+                        help="minimum /cuda/aggregated-per-launch ratio "
+                             "for --check (default 4)")
+    parser.add_argument("--agg-slots", type=int, default=16,
+                        help="aggregation slot-buffer capacity (default 16)")
     args = parser.parse_args(argv)
 
     bpe = args.blocks if args.blocks is not None else 4
-    steps = args.steps if args.steps is not None else (1 if args.smoke else 3)
+    steps = args.steps if args.steps is not None else (4 if args.smoke else 3)
     reg = default_registry()
-
-    # -- serial reference -------------------------------------------------
     reg.reset()
-    serial_mesh = build_mesh(bpe)
-    serial = run_steps(serial_mesh, args.warmup, steps)
-    serial_state = serial_mesh.gather_interior()
 
-    # -- futurized: scheduler workers + GPU streams with CPU overflow -----
-    reg.reset()
     with WorkStealingScheduler(args.workers) as sched, \
             CudaDevice(n_streams=args.streams, n_workers=args.gpu_workers,
                        name="bench-gpu") as gpu:
-        engine = ExecutionEngine(scheduler=sched, devices=[gpu])
+        engine = ExecutionEngine(scheduler=sched, devices=[gpu],
+                                 agg_slots=args.agg_slots)
+        serial_mesh = build_mesh(bpe)
         fut_mesh = build_mesh(bpe, engine=engine)
-        futurized = run_steps(fut_mesh, args.warmup, steps)
+        for _ in range(args.warmup):  # records the FMM pair script
+            serial_mesh.step()
+            fut_mesh.step()
+        serial_walls: list[float] = []
+        serial_inter: list[float] = []
+        fut_walls: list[float] = []
+        fut_inter: list[float] = []
+        for k in range(steps):  # paired: same background load for both;
+            # alternate order so neither variant always draws the
+            # earlier (possibly noisier or quieter) slot of a round
+            order = ((serial_mesh, serial_walls, serial_inter),
+                     (fut_mesh, fut_walls, fut_inter))
+            for mesh, walls, inter in (order if k % 2 == 0
+                                       else order[::-1]):
+                w, n = timed_step(mesh)
+                walls.append(w)
+                inter.append(n)
         engine.synchronize()
         engine.publish_counters(reg)
+        serial_state = serial_mesh.gather_interior()
         fut_state = fut_mesh.gather_interior()
     snap = reg.snapshot()
 
+    serial = summarize(serial_mesh, serial_walls, serial_inter)
+    futurized = summarize(fut_mesh, fut_walls, fut_inter)
     bit_identical = bool(np.array_equal(serial_state, fut_state))
     ratio = (futurized["zone_updates_per_s"] / serial["zone_updates_per_s"]
              if serial["zone_updates_per_s"] > 0 else 0.0)
     counters = {k: snap.get(k, 0.0) for k in (
         "/cuda/launched/gpu", "/cuda/launched/cpu", "/cuda/leases-reclaimed",
+        "/cuda/agg-launches", "/cuda/agg-tasks", "/cuda/aggregated-per-launch",
         "/threads/stolen", "/threads/executed", "/exec/batches",
         "/exec/tasks", "/fmm/solves", "/fmm/solves-futurized",
+        "/fmm/staged-bytes",
         "/fmm/interactions/multipole", "/fmm/interactions/monopole")}
     report = {
         "config": {
             "blocks_per_edge": bpe, "grid": fut_mesh.n,
             "steps": steps, "warmup": args.warmup,
             "workers": args.workers, "streams": args.streams,
-            "gpu_workers": args.gpu_workers,
+            "gpu_workers": args.gpu_workers, "agg_slots": args.agg_slots,
         },
         "serial": serial,
         "futurized": futurized,
         "throughput_ratio": ratio,
         "gpu_launch_fraction": engine.gpu_fraction,
+        "aggregation": {
+            "launches": engine.agg_launches,
+            "tasks": engine.agg_tasks,
+            "per_launch": engine.aggregated_per_launch,
+        },
         "bit_identical": bit_identical,
         "counters": counters,
     }
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
 
-    print(f"grid {fut_mesh.n}^3 ({bpe}^3 blocks), {steps} steps:")
+    print(f"grid {fut_mesh.n}^3 ({bpe}^3 blocks), "
+          f"best of {steps} paired steps:")
     print(f"  serial     {serial['seconds']:8.3f} s   "
           f"{serial['zone_updates_per_s']:12.0f} zones/s")
     print(f"  futurized  {futurized['seconds']:8.3f} s   "
@@ -165,6 +209,9 @@ def main(argv: list[str] | None = None) -> int:
           f"{counters['/cuda/launched/cpu']:.0f} "
           f"({100 * engine.gpu_fraction:.1f}% gpu), "
           f"tasks stolen {counters['/threads/stolen']:.0f}")
+    print(f"  aggregation: {engine.agg_tasks} kernels in "
+          f"{engine.agg_launches} launches "
+          f"({engine.aggregated_per_launch:.1f} per launch)")
     print(f"  bit-identical end state: {bit_identical}")
     print(f"wrote {args.out}")
 
@@ -181,6 +228,11 @@ def main(argv: list[str] | None = None) -> int:
                 or counters["/threads/stolen"] <= 0:
             print("CHECK FAILED: expected nonzero /cuda/launched/gpu and "
                   "/threads/stolen", file=sys.stderr)
+            return 1
+        if engine.aggregated_per_launch <= args.min_agg:
+            print(f"CHECK FAILED: aggregation ratio "
+                  f"{engine.aggregated_per_launch:.1f} tasks/launch "
+                  f"<= {args.min_agg:.1f}", file=sys.stderr)
             return 1
         print("check passed")
     return 0

@@ -44,6 +44,14 @@ REPRO005 *bare-except*
     supervisor replays tasks); a bare except also traps
     ``KeyboardInterrupt``/``SystemExit`` and turns shutdown into a hang.
     Catch a concrete type, or ``BaseException`` *with* re-dispatch.
+
+REPRO006 *unaggregated-enqueue*
+    A direct ``lease.enqueue(...)`` / ``stream.enqueue_aggregated(...)``
+    call in ``core/``.  Solver-layer kernel launches must go through an
+    :class:`repro.runtime.aggregate.AggregationRegion` (usually via
+    :meth:`repro.core.exec.ExecutionEngine.map`) so they are coalesced
+    into aggregated launches and counted by the engine's placement
+    accounting; a bypassing enqueue is an unaggregated, uncounted launch.
 """
 
 from __future__ import annotations
@@ -91,6 +99,10 @@ RULES: dict[str, tuple[str, str]] = {
     "REPRO005": ("bare-except",
                  "bare `except:` in runtime/ or resilience/ swallows "
                  "shutdown signals; name the exception type"),
+    "REPRO006": ("unaggregated-enqueue",
+                 "direct lease/stream enqueue in core/ bypasses the work-"
+                 "aggregation region; route kernels through "
+                 "ExecutionEngine.map / AggregationRegion"),
 }
 
 #: scheduler entry points whose callable arguments become task bodies
@@ -221,6 +233,16 @@ class _Linter(ast.NodeVisitor):
                           f"{base}.{func.attr}() in core/ breaks "
                           "bit-identical execution; inject a seeded "
                           "generator from the caller instead")
+        # REPRO006: kernel enqueues in core/ must go through aggregation
+        if (self.in_core and isinstance(func, ast.Attribute)
+                and func.attr in ("enqueue", "enqueue_aggregated")):
+            base = ast.unparse(func.value).lower()
+            if "lease" in base or "stream" in base:
+                self._hit(node, "REPRO006",
+                          f"direct {func.attr}() on {ast.unparse(func.value)!r} "
+                          "in core/ bypasses the aggregation region (and its "
+                          "launch accounting); use ExecutionEngine.map or an "
+                          "AggregationRegion")
         # REPRO004: counter-name sections
         name_arg = None
         if (isinstance(func, ast.Attribute) and func.attr in _COUNTER_METHODS
@@ -295,7 +317,7 @@ def lint_paths(paths: Iterable[str]) -> list[Violation]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="repo-specific AST lint pass (REPRO001..REPRO005)")
+        description="repo-specific AST lint pass (REPRO001..REPRO006)")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
     parser.add_argument("--rules", action="store_true",

@@ -109,6 +109,20 @@ def format_report(registry: CounterRegistry | None = None) -> str:
                 ["placement", "count"], rows,
                 title="execution engine placement (/cuda/launched) — "
                       "live-solve launch ratio"))
+        if "agg-launches" in cuda or "aggregated-per-launch" in cuda:
+            rows = [
+                ["aggregated launches", int(cuda.get("agg-launches", 0))],
+                ["kernels carried", int(cuda.get("agg-tasks", 0))],
+                ["tasks per launch",
+                 f"{cuda.get('aggregated-per-launch', 0.0):.1f}"],
+                ["buffer-full flushes", int(cuda.get("agg-flush/full", 0))],
+                ["region-exit flushes", int(cuda.get("agg-flush/exit", 0))],
+                ["enqueue failures", int(cuda.get("agg-enqueue-failed", 0))],
+            ]
+            sections.append(format_table(
+                ["counter", "value"], rows,
+                title="work aggregation (/cuda) — slot-buffer coalescing "
+                      "(arXiv 2210.06438)"))
         health_keys = ("quarantined", "readmitted", "leases-reclaimed")
         if any(k in cuda for k in health_keys):
             rows = [[k, int(cuda.get(k, 0))] for k in health_keys]
@@ -117,7 +131,8 @@ def format_report(registry: CounterRegistry | None = None) -> str:
                 title="stream health (/cuda) — quarantine & lease "
                       "reclamation"))
         devices = sorted({k.split("/")[0] for k in cuda
-                          if not k.startswith(("launch/", "launched/"))
+                          if not k.startswith(("launch/", "launched/",
+                                               "agg-flush/"))
                           and "/" in k})
         rows = []
         for dev in devices:
@@ -193,6 +208,11 @@ def format_report(registry: CounterRegistry | None = None) -> str:
 
 # -- the runnable scenario ---------------------------------------------------
 
+def _call_kernel(kernel):
+    """Invoke a prepared zero-argument kernel (engine task body)."""
+    return kernel()
+
+
 def run_example_scenario(registry: CounterRegistry | None = None,
                          n_kernels: int = 192, n_streams: int = 16,
                          n_gpu_workers: int = 4, n_cpu_workers: int = 4,
@@ -204,10 +224,15 @@ def run_example_scenario(registry: CounterRegistry | None = None,
 
     A batch of monopole FMM kernels is launched through the paper's
     GPU-else-CPU policy with continuation chaining on a work-stealing
-    scheduler (the Sec. 5.1 node model), then the distributed step model
-    evaluates a few node counts over both parcelports (the Sec. 6.3 cost
-    model).  All components publish their counters into ``registry``.
+    scheduler (the Sec. 5.1 node model); the same kernels are then
+    re-dispatched through an :class:`~repro.core.exec.ExecutionEngine`,
+    whose aggregation regions coalesce them into slot-buffer launches
+    (the ``/cuda/aggregated-per-launch`` statistic of the report);
+    finally the distributed step model evaluates a few node counts over
+    both parcelports (the Sec. 6.3 cost model).  All components publish
+    their counters into ``registry``.
     """
+    from ..core.exec import ExecutionEngine
     from ..core.gravity.kernels import p2p_pair
     from ..network.parcelport import PARCELPORTS
     from ..network import parcelport as parcelport_mod
@@ -244,9 +269,16 @@ def run_example_scenario(registry: CounterRegistry | None = None,
             results = when_all(sends).get()
             total = sum(f.get()[1] for f in results)
         cpu.wait_idle(timeout=30.0)
+        engine = ExecutionEngine(scheduler=cpu, device=gpu,
+                                 registry=registry)
+        with trace.span("aggregated-solve", "phase"):
+            agg_futs = engine.map(_call_kernel, [(k,) for k in kernels])
+            agg_total = sum(f.get(timeout=30.0) for f in agg_futs)
+        engine.synchronize()
         cpu.publish_counters(registry)
         gpu.publish_counters(registry)
         policy.publish_counters(registry)
+        engine.publish_counters(registry)
 
     with trace.span("step-model", "phase"):
         profile = cached_profile(tree_level)
@@ -263,8 +295,11 @@ def run_example_scenario(registry: CounterRegistry | None = None,
         sanitize.publish_counters(registry)
     return {
         "kernel_sum": float(total),
+        "aggregated_sum": float(agg_total),
         "gpu_launches": policy.gpu_launches,
         "cpu_launches": policy.cpu_launches,
+        "aggregated_launches": engine.agg_launches,
+        "aggregated_per_launch": engine.aggregated_per_launch,
         "step_results": step_results,
     }
 
@@ -306,6 +341,9 @@ def main(argv: list[str] | None = None) -> int:
     print(f"gravity phase: {outcome['gpu_launches']} GPU / "
           f"{outcome['cpu_launches']} CPU kernel launches, "
           f"reduction = {outcome['kernel_sum']:.3f}")
+    print(f"aggregated phase: {outcome['aggregated_launches']} slot-buffer "
+          f"launches, {outcome['aggregated_per_launch']:.1f} kernels per "
+          f"launch (/cuda/aggregated-per-launch)")
 
     if not args.no_trace:
         os.makedirs(args.out, exist_ok=True)

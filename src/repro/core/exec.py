@@ -12,9 +12,23 @@ M2L/P2P interaction batches, :class:`repro.core.mesh.BlockMesh` hands it
 per-block hydro right-hand sides — instead of only for the synthetic
 kernels of the simulator.
 
-Placement decisions are counted under ``/cuda/launched/gpu`` and
-``/cuda/launched/cpu`` (the Sec. 6.1.2 launch-ratio statistic, now
-measured on a live solve), and :meth:`publish_counters` republishes the
+On top of that routing sits **work aggregation** (Daiß et al., arXiv
+2210.06438; :mod:`repro.runtime.aggregate`): :meth:`map` splits a batch
+into slot-buffer-sized chunks, and each chunk task opens an
+:class:`~repro.runtime.aggregate.AggregationRegion` that coalesces its
+kernels into a single aggregated stream launch.  Callers are oblivious —
+they still get one future per kernel, in input order — but the device
+sees one launch per filled slot buffer instead of one per kernel.
+
+Placement accounting: every task placement is counted, GPU placements
+under ``/cuda/launched/gpu`` and CPU placements (stream-less engines and
+``use_device=False`` included) under ``/cuda/launched/cpu``, so
+``/exec/launched/gpu + /exec/launched/cpu == /exec/tasks`` always
+reconciles.  GPU placements are recorded only *after* the aggregated
+enqueue succeeded — a faulting enqueue falls back to the CPU and is
+counted there — keeping the Sec. 6.1.2 launch-ratio statistic honest.
+:meth:`publish_counters` also publishes ``/cuda/aggregated-per-launch``
+(kernels carried per aggregated GPU launch) and republishes the
 scheduler's ``/threads/...`` gauges so one call snapshots the whole hot
 path.
 
@@ -23,10 +37,12 @@ Every combination of resources degrades gracefully:
 ========== ========= ==================================================
 scheduler  device(s)  behaviour
 ========== ========= ==================================================
-yes        yes        tasks fan out to workers; workers launch on idle
-                      streams, overflow to themselves (the paper's rule)
+yes        yes        chunk tasks fan out to workers; each chunk's region
+                      launches one aggregated op on an idle stream,
+                      overflowing to its own worker (the paper's rule)
 yes        no         plain work-stealing CPU execution
-no         yes        calling thread launches on streams, overflow inline
+no         yes        calling thread fills one region over the whole
+                      batch; buffer-full flushes launch on streams
 no         no         synchronous execution (serial reference)
 ========== ========= ==================================================
 """
@@ -36,23 +52,13 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Sequence
 
+from ..runtime.aggregate import AggregationRegion, DEFAULT_AGG_SLOTS
 from ..runtime.counters import CounterRegistry, default_registry
 from ..runtime.cuda import CudaDevice, StreamPool, DEFAULT_LEASE_TIMEOUT_S
 from ..runtime.future import Future, Promise
 from ..runtime.scheduler import WorkStealingScheduler
 
 __all__ = ["ExecutionEngine"]
-
-
-def _forward(src: Future, dst_promise: Promise) -> None:
-    """Copy a ready future's outcome into a promise."""
-    if src.has_exception():
-        try:
-            src.get()
-        except BaseException as exc:
-            dst_promise.set_exception(exc)
-    else:
-        dst_promise.set_value(src.get())
 
 
 class ExecutionEngine:
@@ -62,22 +68,30 @@ class ExecutionEngine:
     ----------
     scheduler:
         Optional :class:`~repro.runtime.scheduler.WorkStealingScheduler`;
-        when present, submitted work becomes stealable tasks.
+        when present, submitted work becomes stealable chunk tasks.
     device / devices:
         Optional :class:`~repro.runtime.cuda.CudaDevice` (or several);
-        when present, tasks try to acquire an idle stream from a shared
+        when present, chunk regions acquire an idle stream from a shared
         :class:`~repro.runtime.cuda.StreamPool` before overflowing to the
         CPU — the paper's launch policy, with leases that cannot leak.
     registry:
-        Counter registry for ``/cuda/launched/*`` and ``/exec/*``
-        (default: the global registry).
+        Counter registry for ``/cuda/launched/*``, ``/cuda/agg-*`` and
+        ``/exec/*`` (default: the global registry).
+    aggregate / agg_slots:
+        Work aggregation: kernels are coalesced into aggregated launches
+        of up to ``agg_slots`` slots (``aggregate=False`` degrades to one
+        launch per kernel, keeping the same accounting).
     """
 
     def __init__(self, scheduler: WorkStealingScheduler | None = None,
                  device: CudaDevice | None = None,
                  devices: Sequence[CudaDevice] | None = None,
                  registry: CounterRegistry | None = None,
-                 lease_timeout: float = DEFAULT_LEASE_TIMEOUT_S):
+                 lease_timeout: float = DEFAULT_LEASE_TIMEOUT_S,
+                 aggregate: bool = True,
+                 agg_slots: int = DEFAULT_AGG_SLOTS):
+        if agg_slots < 1:
+            raise ValueError("need at least one aggregation slot")
         devs = list(devices) if devices else []
         if device is not None:
             devs.insert(0, device)
@@ -85,38 +99,46 @@ class ExecutionEngine:
         self.devices = devs
         self.pool = StreamPool(devs, lease_timeout) if devs else None
         self.registry = registry or default_registry()
+        self.agg_slots = agg_slots if aggregate else 1
         self._lock = threading.Lock()
-        self.gpu_launches = 0
-        self.cpu_launches = 0
+        self.gpu_launches = 0    # kernels placed on GPU streams
+        self.cpu_launches = 0    # kernels placed on CPU workers
+        self.agg_launches = 0    # aggregated GPU launches carrying them
+        self.agg_tasks = 0       # kernels carried by aggregated launches
 
     # -- placement ---------------------------------------------------------
 
-    def _count_launch(self, gpu: bool) -> None:
+    def _count_flush(self, gpu: bool, n: int) -> None:
+        """Region flush callback: count ``n`` placed kernels.
+
+        Called by :class:`AggregationRegion` only *after* a successful
+        aggregated enqueue (GPU) or for the inline overflow run (CPU), so
+        the launch gauges always reconcile with ``/exec/tasks`` and can
+        never run ahead of a faulting enqueue.
+        """
         with self._lock:
             if gpu:
-                self.gpu_launches += 1
+                self.gpu_launches += n
+                self.agg_launches += 1
+                self.agg_tasks += n
             else:
-                self.cpu_launches += 1
+                self.cpu_launches += n
         self.registry.increment(
-            "/cuda/launched/gpu" if gpu else "/cuda/launched/cpu")
+            "/cuda/launched/gpu" if gpu else "/cuda/launched/cpu", float(n))
 
-    def _place_and_run(self, fn: Callable[..., Any], args: tuple,
-                       promise: Promise, use_device: bool) -> None:
-        """GPU-else-CPU placement of one kernel, outcome into ``promise``."""
-        try:
-            lease = self.pool.acquire() \
-                if (use_device and self.pool is not None) else None
-            if lease is not None:
-                with lease:
-                    self._count_launch(gpu=True)
-                    fut = lease.enqueue(fn, *args)
-                fut.then(lambda f: _forward(f, promise))
-            else:
-                if use_device and self.pool is not None:
-                    self._count_launch(gpu=False)
-                promise.set_value(fn(*args))
-        except BaseException as exc:
-            promise.set_exception(exc)
+    def _open_region(self, use_device: bool) -> AggregationRegion:
+        pool = self.pool if use_device else None
+        return AggregationRegion(pool, slots=self.agg_slots,
+                                 registry=self.registry,
+                                 on_flush=self._count_flush)
+
+    def _run_chunk(self, fn: Callable[..., Any],
+                   argtuples: Sequence[tuple],
+                   promises: Sequence[Promise], use_device: bool) -> None:
+        """One chunk task: an aggregation region over its slot buffer."""
+        with self._open_region(use_device) as region:
+            for args, promise in zip(argtuples, promises):
+                region.push(fn, args, promise)
 
     # -- public API --------------------------------------------------------
 
@@ -129,31 +151,38 @@ class ExecutionEngine:
             use_device: bool = True) -> list[Future]:
         """Dispatch ``fn(*args)`` for every tuple; futures in input order.
 
-        With a scheduler, a single fan-out task is posted; running on a
-        worker it lands the per-item tasks on that worker's local deque,
-        from which idle workers steal (``/threads/stolen``) — the paper's
-        breadth-first distribution of a solve's kernel batches.  Without
-        one, items run on the calling thread (still using GPU streams
-        when available, so device work overlaps the dispatch loop).
+        With a scheduler, the batch is split into slot-buffer-sized
+        chunks and posted as stealable tasks (``/threads/stolen``) — the
+        paper's breadth-first distribution, at aggregated granularity; a
+        single-chunk batch (``submit`` in particular) is posted directly,
+        skipping the fan-out double-hop.  Without a scheduler, the
+        calling thread fills one region over the whole batch, so
+        buffer-full flushes still overlap device work with the dispatch
+        loop.
         """
-        argtuples = list(argtuples)
+        argtuples = [tuple(args) for args in argtuples]
         promises = [Promise() for _ in argtuples]
         self.registry.increment("/exec/batches")
         self.registry.increment("/exec/tasks", float(len(argtuples)))
         if self.scheduler is None:
-            for args, pr in zip(argtuples, promises):
-                self._place_and_run(fn, args, pr, use_device)
+            if argtuples:
+                self._run_chunk(fn, argtuples, promises, use_device)
         else:
+            size = self.agg_slots
             tasks = [
-                (lambda a=args, p=pr: self._place_and_run(
-                    fn, a, p, use_device))
-                for args, pr in zip(argtuples, promises)
+                (lambda a=argtuples[lo:lo + size], p=promises[lo:lo + size]:
+                 self._run_chunk(fn, a, p, use_device))
+                for lo in range(0, len(argtuples), size)
             ]
+            if len(tasks) == 1:
+                # single-task fast path: no fan-out hop for one chunk
+                self.scheduler.post(tasks[0])
+            elif tasks:
 
-            def fan_out() -> None:
-                self.scheduler.post_batch(tasks)
+                def fan_out() -> None:
+                    self.scheduler.post_batch(tasks)
 
-            self.scheduler.post(fan_out)
+                self.scheduler.post(fan_out)
         return [p.get_future() for p in promises]
 
     def synchronize(self) -> None:
@@ -172,17 +201,27 @@ class ExecutionEngine:
             total = self.gpu_launches + self.cpu_launches
             return self.gpu_launches / total if total else 0.0
 
+    @property
+    def aggregated_per_launch(self) -> float:
+        """Kernels carried per aggregated GPU launch (the coalescing win)."""
+        with self._lock:
+            return (self.agg_tasks / self.agg_launches
+                    if self.agg_launches else 0.0)
+
     def publish_counters(self, registry: CounterRegistry | None = None
                          ) -> None:
         """Snapshot engine + scheduler + device gauges into ``registry``."""
         registry = registry or self.registry
         with self._lock:
             gpu, cpu = self.gpu_launches, self.cpu_launches
+            agg_launches, agg_tasks = self.agg_launches, self.agg_tasks
         total = gpu + cpu
         registry.set_gauge("/exec/launched/gpu", float(gpu))
         registry.set_gauge("/exec/launched/cpu", float(cpu))
         registry.set_gauge("/exec/gpu-fraction",
                            gpu / total if total else 0.0)
+        registry.set_gauge("/cuda/aggregated-per-launch",
+                           agg_tasks / agg_launches if agg_launches else 0.0)
         if self.scheduler is not None:
             self.scheduler.publish_counters(registry)
         for dev in self.devices:

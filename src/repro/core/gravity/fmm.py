@@ -38,7 +38,7 @@ import numpy as np
 
 from ...runtime.counters import default_registry
 from ...util import morton_key
-from .kernels import m2l_pair, p2p_pair
+from .kernels import m2l_pair, p2p_pair, p2p_pair_staged
 from .multipole import aggregate_m2m, taylor_shift
 from .stencil import (OPENING_R2, canonical_stencil, p2p_stencil,
                       parity_stencils, root_stencil)
@@ -164,6 +164,11 @@ class FmmSolver:
         self._pair_script: list[tuple[str, int, np.ndarray, int,
                                       np.ndarray]] | None = None
         self._recording = False
+        # aggregated-replay plan: script entries resolved to level objects
+        # plus per-entry staging buffers (see _prepare_replay)
+        self._plan: list[tuple] | None = None
+        self._stage: list[tuple | None] | None = None
+        self._stage_bytes = 0
 
     # -- constructors -----------------------------------------------------
 
@@ -257,11 +262,12 @@ class FmmSolver:
         ``executor`` is an optional
         :class:`~repro.core.exec.ExecutionEngine`: the recorded same-level
         interaction batches are then dispatched as independent tasks onto
-        scheduler workers and (when the engine holds a device) GPU
-        streams with CPU overflow — the paper's futurized per-subgrid
-        gravity (Sec. 5.1).  Pair contributions are *accumulated* on the
-        calling thread in recorded batch order, so a futurized solve is
-        bit-identical to a serial one.
+        scheduler workers and (when the engine holds a device) coalesced
+        into aggregated launches on GPU streams with CPU overflow — the
+        paper's futurized per-subgrid gravity (Sec. 5.1) plus the
+        work-aggregation layer (arXiv 2210.06438).  Pair contributions
+        are *accumulated* on the calling thread in recorded batch order,
+        so a futurized solve is bit-identical to a serial one.
 
         The very first solve records the geometry-dependent pair script
         and therefore runs serially; every subsequent solve replays it,
@@ -296,41 +302,161 @@ class FmmSolver:
                 reg.increment("/fmm/interactions/monopole", len(a))
                 self._p2p_kernel(la, a, lb, b)
 
+    #: staging-buffer memory budget (bytes) for the aggregated replay
+    #: path; entries past the budget compute their geometry per solve.
+    #: Kept deliberately modest: past a few hundred MB the extra
+    #: resident set costs more in memory traffic than the saved
+    #: Green-function arithmetic returns.
+    _STAGE_BUDGET_BYTES = 256 * 1024 ** 2
+
+    def _prepare_replay(self) -> None:
+        """Resolve the pair script into the aggregated replay plan.
+
+        Per entry we keep the level objects (no dict lookup per replay)
+        and, for leaf-leaf P2P batches, **staging buffers**: the
+        separations ``dR`` and inverse-distance factors of the batch.
+        Leaf centres of mass are pinned to the geometric cell centres by
+        :meth:`set_leaf_density`, so these are constants of the solver's
+        geometry — the slot-buffer reuse of the work-aggregation design,
+        amortizing the per-launch gather/Green-function setup across
+        solves.  Staging stops at ``_STAGE_BUDGET_BYTES``; the total is
+        published as the ``/fmm/staged-bytes`` gauge.
+
+        The factors are computed with exactly the expressions of
+        :func:`repro.core.gravity.kernels.p2p_pair`, so the staged kernel
+        stays bit-identical to the serial reference.
+        """
+        by_id = {lv.level: lv for lv in self.levels}
+        plan: list[tuple] = []
+        stage: list[tuple | None] = []
+        used = 0
+        for kind, la_lvl, a, lb_lvl, b in self._pair_script:
+            la, lb = by_id[la_lvl], by_id[lb_lvl]
+            plan.append((kind, la, a, lb, b))
+            staged = None
+            if (kind == "p2p" and bool(la.leaf[a].all())
+                    and bool(lb.leaf[b].all())):
+                need = a.size * 5 * 8  # dR (n,3) + inv + inv3, float64
+                if used + need <= self._STAGE_BUDGET_BYTES:
+                    dR = la.com[a] - lb.com[b]
+                    r2 = np.einsum("ni,ni->n", dR, dR)
+                    inv = 1.0 / np.sqrt(r2)
+                    inv3 = inv / r2
+                    staged = (dR, inv, inv3)
+                    used += need
+            stage.append(staged)
+        self._plan, self._stage, self._stage_bytes = plan, stage, used
+        default_registry().set_gauge("/fmm/staged-bytes", float(used))
+
+    #: pair-tile size of the aggregated compute path.  A recorded M2L
+    #: batch of ~250k pairs churns hundreds of MB of Green-function
+    #: temporaries (``g3`` alone is 216 B/pair); running the kernel over
+    #: cache-sized sub-batches keeps the temporaries resident and is
+    #: measurably faster on the same flops.  All pair kernels are
+    #: elementwise along the pair axis, so tiling + concatenation is
+    #: bitwise identical to the one-shot call.
+    _TILE = 16384
+
+    @staticmethod
+    def _run_tiled(kernel, n: int, tile_args):
+        """Run an elementwise pair ``kernel`` in :attr:`_TILE`-sized
+        sub-batches; ``tile_args(sl)`` gathers one tile's inputs.
+
+        Gathering *per tile* (rather than the whole batch up front)
+        keeps each gathered tile cache-resident through the kernel
+        call instead of writing tens of MB of gathered input only to
+        re-read it.
+        """
+        tile = FmmSolver._TILE
+        if n == 0:
+            return kernel(*tile_args(slice(0, 0)))
+        parts: list[list] | None = None
+        for lo in range(0, n, tile):
+            out = kernel(*tile_args(slice(lo, lo + tile)))
+            if parts is None:
+                parts = [[p] for p in out]
+            else:
+                for dst, p in zip(parts, out):
+                    dst.append(p)
+        return tuple(p[0] if len(p) == 1 else np.concatenate(p)
+                     for p in parts)
+
+    def _compute_entry(self, i: int):
+        """Pure compute half of replay-plan entry ``i`` (engine task).
+
+        Runs the pair kernel tiled with per-tile gathers (see
+        :attr:`_TILE` and :meth:`_run_tiled`).  No accumulation happens
+        here, so entries are safe to compute concurrently and in any
+        order.
+        """
+        kind, la, a, lb, b = self._plan[i]
+        if kind == "m2l":
+            def tile_args(sl):
+                at, bt = a[sl], b[sl]
+                return (la.com[at] - lb.com[bt],
+                        np.maximum(la.m[at], _TINY),
+                        np.maximum(lb.m[bt], _TINY),
+                        la.M2[at], lb.M2[bt])
+            return self._run_tiled(m2l_pair, len(a), tile_args)
+        staged = self._stage[i]
+        if staged is None:
+            def tile_args(sl):
+                at, bt = a[sl], b[sl]
+                return (la.com[at] - lb.com[bt],
+                        np.maximum(la.m[at], _TINY),
+                        np.maximum(lb.m[bt], _TINY))
+            return self._run_tiled(p2p_pair, len(a), tile_args)
+        dR, inv, inv3 = staged
+
+        def tile_args(sl):
+            return (dR[sl], inv[sl], inv3[sl],
+                    np.maximum(la.m[a[sl]], _TINY),
+                    np.maximum(lb.m[b[sl]], _TINY))
+        return self._run_tiled(p2p_pair_staged, len(a), tile_args)
+
     def _replay_futurized(self, engine) -> None:
         """Dispatch the pair script through an execution engine.
 
         Each script entry becomes one task computing its kernel batch
-        (the compute-heavy gather + vectorized pair kernel); the cheap
-        scatter-accumulation runs here, in script order, so the result is
-        byte-identical to :meth:`_replay` regardless of how the batches
-        were placed or interleaved.
+        (the compute-heavy gather + vectorized pair kernel, with staged
+        geometry where available — see :meth:`_prepare_replay`); the
+        engine coalesces each slot-buffer-sized chunk of entries into
+        one aggregated stream launch.  Launches are dispatched **one at
+        a time**, each fully scatter-accumulated before the next is
+        issued: a chunk of large batches produces hundreds of MB of
+        kernel output, and letting multiple chunks compute or queue
+        concurrently costs more in cache/memory traffic than the
+        overlap buys back (time-sliced on a busy host, two in-flight
+        aggregated ops simply evict each other).  Accumulation runs
+        here, in script order, so the result is byte-identical to
+        :meth:`_replay` regardless of how the batches were placed,
+        aggregated or interleaved.
         """
         reg = default_registry()
-        by_id = {lv.level: lv for lv in self.levels}
         script = self._pair_script
-
-        def compute(kind: str, la: FmmLevel, a: np.ndarray,
-                    lb: FmmLevel, b: np.ndarray):
-            if kind == "m2l":
-                return self._m2l_compute(la, a, lb, b)
-            return self._p2p_compute(la, a, lb, b)
-
-        futs = engine.map(compute, [
-            (kind, by_id[la_lvl], a, by_id[lb_lvl], b)
-            for kind, la_lvl, a, lb_lvl, b in script])
-        for (kind, la_lvl, a, lb_lvl, b), fut in zip(script, futs):
-            la, lb = by_id[la_lvl], by_id[lb_lvl]
-            out = fut.get()
-            if kind == "m2l":
-                reg.increment("/fmm/interactions/multipole", len(a))
-                phiA, phiB, accA, accB, HA, HB = out
-                _accumulate(la, a, phiA, accA, HA)
-                _accumulate(lb, b, phiB, accB, HB)
-            else:
-                reg.increment("/fmm/interactions/monopole", len(a))
-                phiA, phiB, accA, accB = out
-                _accumulate(la, a, phiA, accA, None)
-                _accumulate(lb, b, phiB, accB, None)
+        if self._plan is None:
+            self._prepare_replay()
+        n = len(script)
+        chunk = max(int(getattr(engine, "agg_slots", 1)), 1)
+        for lo in range(0, n, chunk):
+            hi = min(n, lo + chunk)
+            futs = engine.map(self._compute_entry,
+                              [(i,) for i in range(lo, hi)])
+            for j, i in enumerate(range(lo, hi)):
+                kind, la, a, lb, b = self._plan[i]
+                out = futs[j].get()
+                futs[j] = None  # release the output once accumulated
+                if kind == "m2l":
+                    reg.increment("/fmm/interactions/multipole", len(a))
+                    phiA, phiB, accA, accB, HA, HB = out
+                    _accumulate(la, a, phiA, accA, HA)
+                    _accumulate(lb, b, phiB, accB, HB)
+                else:
+                    reg.increment("/fmm/interactions/monopole", len(a))
+                    phiA, phiB, accA, accB = out
+                    _accumulate(la, a, phiA, accA, None)
+                    _accumulate(lb, b, phiB, accB, None)
+                del out
 
     def _reset_taylor(self) -> None:
         for lv in self.levels:

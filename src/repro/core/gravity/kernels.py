@@ -29,7 +29,8 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["greens", "p2p_pair", "m2l_pair", "pair_torque", "LEVI_CIVITA"]
+__all__ = ["greens", "p2p_pair", "p2p_pair_staged", "m2l_pair",
+           "pair_torque", "LEVI_CIVITA"]
 
 #: Levi-Civita tensor for torque contractions
 LEVI_CIVITA = np.zeros((3, 3, 3))
@@ -84,6 +85,30 @@ def p2p_pair(dR: np.ndarray, mA: np.ndarray, mB: np.ndarray
     phiA = -mB * inv
     phiB = -mA * inv
     # force on A = -mA mB dR / r^3 ; accA = F/mA, accB = -F/mB
+    f = -(mA * mB * inv3)[:, None] * dR
+    accA = f / mA[:, None]
+    accB = -f / mB[:, None]
+    return phiA, phiB, accA, accB
+
+
+def p2p_pair_staged(dR: np.ndarray, inv: np.ndarray, inv3: np.ndarray,
+                    mA: np.ndarray, mB: np.ndarray
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                               np.ndarray]:
+    """P2P with pre-staged Green-function factors (work aggregation).
+
+    The aggregated replay path keeps per-batch staging buffers alive
+    across launches (the slot-buffer reuse of the aggregation design):
+    leaf centres of mass are pinned to the cell centres, so ``dR`` and
+    the inverse-distance factors ``inv = 1/r`` / ``inv3 = 1/r^3`` of a
+    recorded leaf-leaf batch are geometric constants and only the
+    mass-dependent factors change between solves.
+
+    Bit-identical to :func:`p2p_pair` given matching staged factors: the
+    remaining expressions are the same operations in the same order.
+    """
+    phiA = -mB * inv
+    phiB = -mA * inv
     f = -(mA * mB * inv3)[:, None] * dR
     accA = f / mA[:, None]
     accB = -f / mB[:, None]

@@ -13,10 +13,14 @@ Two implementations with identical physics:
   per-sub-grid hydro tasks and futurized FMM gravity dispatched through
   a :class:`repro.core.exec.ExecutionEngine` (work-stealing scheduler +
   GPU streams with CPU overflow) — the futurized execution style of
-  Sec. 4.1/5.1/5.2.  Its results match :class:`Mesh` bit-for-bit given
-  the same inputs (tested), demonstrating that the runtime integration
-  "does not change the physics".  ``DistributedMesh`` remains as an
-  alias of its former name.
+  Sec. 4.1/5.1/5.2.  The engine coalesces both the per-block RHS tasks
+  and the FMM interaction batches into aggregated launches
+  (:mod:`repro.runtime.aggregate`), so a step issues a handful of
+  slot-buffer launches instead of hundreds of per-kernel ones.  Its
+  results match :class:`Mesh` bit-for-bit given the same inputs
+  (tested), demonstrating that the runtime integration "does not change
+  the physics".  ``DistributedMesh`` remains as an alias of its former
+  name.
 
 Boundary conditions: ``outflow`` (zero gradient), ``reflect`` (mirror,
 normal momentum negated) and ``periodic``.
@@ -600,6 +604,9 @@ class BlockMesh:
         return dt
 
     def _rhs_all(self, blocks, gravity: np.ndarray | None = None) -> dict:
+        # per-block RHS tasks stay on CPU workers (use_device=False): the
+        # engine still chunks them into aggregation-region tasks, so the
+        # scheduler sees slot-buffer granularity, not per-block tasks
         items = list(blocks.items())
         if self.engine is None:
             return {ip: compute_rhs(blk, self.dx, self.options,

@@ -16,8 +16,9 @@ from .parcel import Parcel, ParcelHandler, EAGER_THRESHOLD, serialized_size
 from .channel import (Channel, ChannelError, ChannelClosed, ChannelReset,
                       ChannelGenerationError)
 from .cuda import (CudaDevice, CudaStream, StreamPool, StreamLease,
-                   LaunchPolicy, DEFAULT_STREAMS_PER_GPU,
+                   AggregatedOp, LaunchPolicy, DEFAULT_STREAMS_PER_GPU,
                    DEFAULT_LEASE_TIMEOUT_S)
+from .aggregate import AggregationRegion, DEFAULT_AGG_SLOTS
 from .counters import CounterRegistry, default_registry, counter, gauge, timer
 
 __all__ = [
@@ -29,8 +30,9 @@ __all__ = [
     "Parcel", "ParcelHandler", "EAGER_THRESHOLD", "serialized_size",
     "Channel", "ChannelError", "ChannelClosed", "ChannelReset",
     "ChannelGenerationError",
-    "CudaDevice", "CudaStream", "StreamPool", "StreamLease", "LaunchPolicy",
-    "DEFAULT_STREAMS_PER_GPU", "DEFAULT_LEASE_TIMEOUT_S",
+    "CudaDevice", "CudaStream", "StreamPool", "StreamLease", "AggregatedOp",
+    "LaunchPolicy", "DEFAULT_STREAMS_PER_GPU", "DEFAULT_LEASE_TIMEOUT_S",
+    "AggregationRegion", "DEFAULT_AGG_SLOTS",
     "CounterRegistry", "default_registry", "counter", "gauge", "timer",
     "trace",
 ]

@@ -37,6 +37,14 @@ immediately, one success clears the probation.  Quarantines are counted
 under ``/cuda/quarantined`` (re-admissions under ``/cuda/readmitted``)
 and per-device gauges; :meth:`CudaStream.poison` is the matching
 adversary hook used by the chaos tests.
+
+**Work aggregation.**  :meth:`CudaStream.enqueue_aggregated` (and the
+lease equivalent) submits a whole slot buffer of kernels as *one*
+:class:`AggregatedOp` — one queue entry, one dispatch, one launch future
+— following the Octo-Tiger aggregated-kernel design (Daiß et al., arXiv
+2210.06438).  Poison draws and fault-streak accounting remain per slot,
+so quarantine behaviour is indistinguishable from unaggregated launches;
+the buffering/flush policy lives in :mod:`repro.runtime.aggregate`.
 """
 
 from __future__ import annotations
@@ -54,7 +62,7 @@ from .counters import CounterRegistry, default_registry
 from .future import Future, Promise
 
 __all__ = ["CudaDevice", "CudaStream", "StreamPool", "StreamLease",
-           "LaunchPolicy", "DEFAULT_STREAMS_PER_GPU",
+           "AggregatedOp", "LaunchPolicy", "DEFAULT_STREAMS_PER_GPU",
            "DEFAULT_LEASE_TIMEOUT_S", "DEFAULT_QUARANTINE_THRESHOLD",
            "DEFAULT_QUARANTINE_PERIOD_S"]
 
@@ -71,6 +79,54 @@ DEFAULT_QUARANTINE_THRESHOLD = 3
 
 #: seconds a quarantined stream sits out before probationary re-admission
 DEFAULT_QUARANTINE_PERIOD_S = 1.0
+
+
+class AggregatedOp:
+    """A filled slot buffer executed as **one** stream operation.
+
+    The device-side half of work aggregation (Daiß et al., arXiv
+    2210.06438; see :mod:`repro.runtime.aggregate`): many buffered
+    ``(fn, args)`` kernels occupy one queue slot, one dispatch, and one
+    launch future — amortizing the per-launch overhead the aggregation
+    paper targets.
+
+    Stream-health semantics stay per *kernel*, not per launch: the
+    device worker draws poison and records a fault-streak outcome for
+    every slot individually (a sick stream faulting mid-buffer
+    quarantines exactly as it would under one-kernel-per-launch), and a
+    slot raising never takes its neighbours down.  The launch future
+    resolves with ``[(ok, value_or_exception), ...]`` in slot order;
+    :func:`repro.runtime.aggregate._scatter` forwards these to the
+    per-kernel futures.
+    """
+
+    __slots__ = ("items",)
+
+    #: trace label (the worker loop reads ``__name__`` off the op)
+    __name__ = "aggregated-op"
+
+    def __init__(self, items: list[tuple[Callable[..., Any], tuple]]):
+        self.items = list(items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def run(self, stream: "CudaStream") -> list[tuple[bool, Any]]:
+        """Execute every slot on ``stream``; called by the device worker."""
+        outcomes: list[tuple[bool, Any]] = []
+        for fn, args in self.items:
+            poison = stream._consume_poison()
+            if poison is not None:
+                outcomes.append((False, poison))
+                stream._record_kernel_outcome(ok=False)
+                continue
+            try:
+                outcomes.append((True, fn(*args)))
+                stream._record_kernel_outcome(ok=True)
+            except BaseException as exc:
+                outcomes.append((False, exc))
+                stream._record_kernel_outcome(ok=False)
+        return outcomes
 
 
 class CudaStream:
@@ -113,6 +169,16 @@ class CudaStream:
         if should_kick:
             self.device._dispatch(self)
         return fut
+
+    def enqueue_aggregated(self, items: list[tuple[Callable[..., Any], tuple]]
+                           ) -> Future:
+        """Submit a slot buffer as one aggregated launch (one queue op).
+
+        The returned future resolves with per-slot ``(ok, value_or_exc)``
+        outcomes in slot order; see :class:`AggregatedOp` for the
+        stream-health semantics.
+        """
+        return self.enqueue(AggregatedOp(items))
 
     def record_event(self) -> Future:
         """Future ready when everything enqueued so far has completed."""
@@ -317,24 +383,31 @@ class CudaDevice:
                 continue
             fn, args, promise = item
             t0 = time.perf_counter() if trace.TRACING else 0.0
-            poison = stream._consume_poison()
-            if poison is not None:
-                promise.set_exception(poison)
-                stream._record_kernel_outcome(ok=False)
+            if isinstance(fn, AggregatedOp):
+                # aggregated launch: one queue op, per-slot poison draws
+                # and health outcomes (see AggregatedOp.run)
+                executed = len(fn)
+                promise.set_value(fn.run(stream))
             else:
-                try:
-                    promise.set_value(fn(*args))
-                    stream._record_kernel_outcome(ok=True)
-                except BaseException as exc:
-                    promise.set_exception(exc)
+                executed = 1
+                poison = stream._consume_poison()
+                if poison is not None:
+                    promise.set_exception(poison)
                     stream._record_kernel_outcome(ok=False)
+                else:
+                    try:
+                        promise.set_value(fn(*args))
+                        stream._record_kernel_outcome(ok=True)
+                    except BaseException as exc:
+                        promise.set_exception(exc)
+                        stream._record_kernel_outcome(ok=False)
             if trace.TRACING:
                 trace.default_recorder().complete(
                     getattr(fn, "__name__", "kernel"), "cuda",
                     t0, time.perf_counter(),
                     device=self.name, stream=stream.index)
             with self._stats_lock:
-                self.kernels_executed += 1
+                self.kernels_executed += executed
             # keep per-stream FIFO: only after completion may the next op run
             with stream._lock:
                 more = bool(stream._queue)
@@ -402,6 +475,14 @@ class StreamLease:
             _sanitize_protocol.lease_consumed(self)
         self._consumed = True
         return self.stream.enqueue(fn, *args)
+
+    def enqueue_aggregated(self, items: list[tuple[Callable[..., Any], tuple]]
+                           ) -> Future:
+        """Launch a slot buffer as one aggregated op, consuming the lease."""
+        if _sanitize_state.ACTIVE:
+            _sanitize_protocol.lease_consumed(self)
+        self._consumed = True
+        return self.stream.enqueue_aggregated(items)
 
     def release(self) -> None:
         """Return the reservation unless a kernel was already enqueued."""

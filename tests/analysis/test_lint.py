@@ -153,6 +153,29 @@ def test_repro005_typed_except_and_other_dirs_clean():
         == ["REPRO005"]
 
 
+# -- REPRO006: unaggregated enqueues in core/ -----------------------------
+
+def test_repro006_direct_lease_enqueue_in_core():
+    vs = _lint("lease.enqueue(kernel, dR, m)", rel="repro/core/solver.py")
+    assert [v.rule for v in vs] == ["REPRO006"]
+    assert "aggregation region" in vs[0].message
+
+
+def test_repro006_stream_enqueue_aggregated_in_core():
+    vs = _lint("self.stream.enqueue_aggregated(items)",
+               rel="repro/core/gravity/fmm.py")
+    assert [v.rule for v in vs] == ["REPRO006"]
+
+
+def test_repro006_clean_outside_core_and_for_other_bases():
+    # the runtime layer implements aggregation, so it may enqueue directly
+    assert _lint("lease.enqueue(op)", rel="repro/runtime/aggregate.py") == []
+    # only lease/stream receivers are launch paths
+    assert _lint("queue.enqueue(item)", rel="repro/core/mesh.py") == []
+    # engine-mediated dispatch is the sanctioned route
+    assert _lint("engine.map(fn, argtuples)", rel="repro/core/mesh.py") == []
+
+
 # -- syntax errors, repo cleanliness, CLI ---------------------------------
 
 def test_syntax_error_is_reported_not_raised():

@@ -1,0 +1,213 @@
+"""Work aggregation: slot buffers, flush triggers, launch accounting."""
+
+import pytest
+
+from repro.runtime import (AggregatedOp, AggregationRegion, CudaDevice,
+                           StreamPool)
+from repro.runtime.counters import default_registry
+
+
+def make_pool(gpu):
+    return StreamPool([gpu])
+
+
+class TestFlushTriggers:
+    def test_buffer_full_auto_flushes(self):
+        reg = default_registry()
+        reg.reset()
+        with CudaDevice(n_streams=2, n_workers=1, name="agg-gpu") as gpu:
+            region = AggregationRegion(make_pool(gpu), slots=3)
+            futs = [region.submit(lambda x=x: x * 10) for x in range(3)]
+            # the third push filled the buffer: launched without flush()
+            assert [f.get(timeout=5.0) for f in futs] == [0, 10, 20]
+            gpu.synchronize()
+        snap = reg.snapshot()
+        assert snap.get("/cuda/agg-flush/full") == 1.0
+        assert snap.get("/cuda/agg-launches") == 1.0
+        assert snap.get("/cuda/agg-tasks") == 3.0
+
+    def test_exit_flushes_the_remainder(self):
+        reg = default_registry()
+        reg.reset()
+        with CudaDevice(n_streams=2, n_workers=1, name="agg-gpu") as gpu:
+            with AggregationRegion(make_pool(gpu), slots=16) as region:
+                futs = [region.submit(lambda x=x: -x) for x in range(5)]
+            assert [f.get(timeout=5.0) for f in futs] == [0, -1, -2, -3, -4]
+            gpu.synchronize()
+        snap = reg.snapshot()
+        assert snap.get("/cuda/agg-flush/exit") == 1.0
+        assert snap.get("/cuda/aggregated-per-launch", None) is None  # gauge
+        assert region.launches == 1
+        assert region.gpu_tasks == 5
+
+    def test_explicit_flush_and_synchronize(self):
+        with CudaDevice(n_streams=2, n_workers=1, name="agg-gpu") as gpu:
+            region = AggregationRegion(make_pool(gpu), slots=16)
+            f1 = region.submit(lambda: "a")
+            region.flush()
+            f2 = region.submit(lambda: "b")
+            region.synchronize(timeout=5.0)
+            assert f1.get(timeout=0.0) == "a"
+            assert f2.get(timeout=0.0) == "b"
+            assert region.launches == 2
+            gpu.synchronize()
+
+    def test_empty_flush_is_a_noop(self):
+        reg = default_registry()
+        reg.reset()
+        with CudaDevice(n_streams=1, n_workers=1, name="agg-gpu") as gpu:
+            with AggregationRegion(make_pool(gpu), slots=4) as region:
+                region.flush()
+            region.synchronize()
+        assert region.launches == 0
+        assert reg.snapshot().get("/cuda/agg-launches", 0.0) == 0.0
+
+    def test_slots_validation(self):
+        with pytest.raises(ValueError):
+            AggregationRegion(None, slots=0)
+
+
+class TestOrderingAndIdentity:
+    def test_futures_resolve_in_slot_order_across_flushes(self):
+        """Determinism contract: per-kernel futures map 1:1 onto slots,
+        in push order, however the buffer was cut into launches."""
+        with CudaDevice(n_streams=4, n_workers=2, name="agg-gpu") as gpu:
+            with AggregationRegion(make_pool(gpu), slots=4) as region:
+                futs = [region.submit(lambda i=i: i) for i in range(11)]
+            got = [f.get(timeout=5.0) for f in futs]
+            gpu.synchronize()
+        assert got == list(range(11))
+
+    def test_cpu_region_runs_inline_in_order(self):
+        order = []
+
+        def record(i):
+            order.append(i)
+            return i
+
+        with AggregationRegion(None, slots=4) as region:
+            futs = [region.submit(record, i) for i in range(10)]
+        assert [f.get(timeout=0.0) for f in futs] == list(range(10))
+        assert order == list(range(10))
+        assert region.cpu_tasks == 10
+        assert region.launches == 0
+
+    def test_slot_exception_is_isolated(self):
+        def boom():
+            raise ValueError("slot 1 crashed")
+
+        with CudaDevice(n_streams=1, n_workers=1, name="agg-gpu") as gpu:
+            with AggregationRegion(make_pool(gpu), slots=8) as region:
+                ok1 = region.submit(lambda: 1)
+                bad = region.submit(boom)
+                ok2 = region.submit(lambda: 2)
+            assert ok1.get(timeout=5.0) == 1
+            with pytest.raises(ValueError, match="slot 1"):
+                bad.get(timeout=5.0)
+            assert ok2.get(timeout=5.0) == 2
+            gpu.synchronize()
+
+
+class TestLaunchAccounting:
+    def test_aggregated_launch_counts_every_slot(self):
+        """kernels-executed advances by the slot count, not by 1."""
+        with CudaDevice(n_streams=1, n_workers=1, name="agg-gpu") as gpu:
+            with AggregationRegion(make_pool(gpu), slots=8) as region:
+                futs = [region.submit(lambda: None) for _ in range(6)]
+            for f in futs:
+                f.wait(5.0)
+            gpu.synchronize()
+            assert gpu.kernels_executed == 6
+
+    def test_on_flush_reports_gpu_and_cpu_placements(self):
+        events = []
+        with CudaDevice(n_streams=1, n_workers=1, name="agg-gpu") as gpu:
+            with AggregationRegion(make_pool(gpu), slots=2,
+                                   on_flush=lambda g, n: events.append((g, n))
+                                   ) as region:
+                futs = [region.submit(lambda: 0) for _ in range(2)]
+            for f in futs:
+                f.wait(5.0)
+            gpu.synchronize()
+        assert events == [(True, 2)]
+        with AggregationRegion(None, slots=2,
+                               on_flush=lambda g, n: events.append((g, n))
+                               ) as region:
+            region.submit(lambda: 0).wait(1.0)
+        assert events == [(True, 2), (False, 1)]
+
+    def test_failed_enqueue_falls_back_to_cpu_uncounted(self):
+        """A faulting enqueue must not count as a GPU launch (the
+        launch-accounting bug this PR fixes): the buffer overflows to
+        the CPU and the kernels still complete."""
+        reg = default_registry()
+        reg.reset()
+
+        class RevokedLease:
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def enqueue_aggregated(self, items):
+                raise RuntimeError("stream revoked mid-flush")
+
+        class RevokedPool:
+            def acquire(self):
+                return RevokedLease()
+
+        events = []
+        with AggregationRegion(RevokedPool(), slots=4,
+                               on_flush=lambda g, n: events.append((g, n))
+                               ) as region:
+            futs = [region.submit(lambda x=x: x + 1) for x in range(3)]
+        assert [f.get(timeout=1.0) for f in futs] == [1, 2, 3]
+        assert events == [(False, 3)]  # CPU placement, no GPU launch
+        assert region.launches == 0 and region.gpu_tasks == 0
+        snap = reg.snapshot()
+        assert snap.get("/cuda/agg-enqueue-failed") == 1.0
+        assert snap.get("/cuda/agg-launches", 0.0) == 0.0
+
+
+class TestStreamHealth:
+    def test_poison_drawn_per_slot_not_per_launch(self):
+        """A sick stream faults individual slots; healthy slots of the
+        same aggregated launch still compute."""
+        with CudaDevice(n_streams=1, n_workers=1, name="agg-gpu",
+                        quarantine_threshold=None) as gpu:
+            gpu.streams[0].poison(count=2)
+            with AggregationRegion(make_pool(gpu), slots=8) as region:
+                futs = [region.submit(lambda i=i: i) for i in range(4)]
+            outcomes = []
+            for f in futs:
+                f.wait(5.0)
+                outcomes.append(not f.has_exception())
+            gpu.synchronize()
+        # first two slots drew the poison, the rest computed
+        assert outcomes == [False, False, True, True]
+        assert futs[2].get(timeout=0.0) == 2
+
+    def test_aggregated_faults_quarantine_the_stream(self):
+        reg = default_registry()
+        reg.reset()
+        with CudaDevice(n_streams=1, n_workers=1, name="agg-gpu",
+                        quarantine_threshold=2,
+                        quarantine_period=60.0) as gpu:
+            gpu.streams[0].poison()  # permanent
+            pool = make_pool(gpu)
+            with AggregationRegion(pool, slots=4) as region:
+                futs = [region.submit(lambda: 1) for _ in range(2)]
+            for f in futs:
+                f.wait(5.0)
+            gpu.synchronize()
+            assert gpu.streams[0].quarantined()
+            assert pool.acquire() is None
+        assert reg.snapshot().get("/cuda/quarantined") == 1.0
+
+
+class TestAggregatedOp:
+    def test_len_and_trace_name(self):
+        op = AggregatedOp([(lambda: 1, ()), (lambda: 2, ())])
+        assert len(op) == 2
+        assert getattr(op, "__name__") == "aggregated-op"
