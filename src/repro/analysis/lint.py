@@ -52,6 +52,17 @@ REPRO006 *unaggregated-enqueue*
     :meth:`repro.core.exec.ExecutionEngine.map`) so they are coalesced
     into aggregated launches and counted by the engine's placement
     accounting; a bypassing enqueue is an unaggregated, uncounted launch.
+
+REPRO007 *unaccounted-channel-set*
+    A direct ``Channel.set(...)`` in a ``core/`` module that imports from
+    ``repro.network``.  Such a module is distribution-aware: its halos may
+    cross localities, and a direct set bypasses the
+    :class:`repro.network.transport.HaloTransport` local/remote split —
+    the parcelport is never charged, and the ``/distmesh/*`` vs
+    ``/parcels/*`` reconciliation silently rots.  Route every send
+    through the transport (``transport.send(channel, ...)``).  The
+    node-level ``core/mesh.py`` does not import the network layer and is
+    deliberately out of scope.
 """
 
 from __future__ import annotations
@@ -103,6 +114,10 @@ RULES: dict[str, tuple[str, str]] = {
                  "direct lease/stream enqueue in core/ bypasses the work-"
                  "aggregation region; route kernels through "
                  "ExecutionEngine.map / AggregationRegion"),
+    "REPRO007": ("unaccounted-channel-set",
+                 "direct Channel.set in a network-aware core/ module "
+                 "bypasses the parcelport accounting; send halos through "
+                 "HaloTransport.send"),
 }
 
 #: scheduler entry points whose callable arguments become task bodies
@@ -139,8 +154,32 @@ def _counter_name_literal(node: ast.expr) -> str | None:
     return None
 
 
+def _imports_network(tree: ast.AST) -> bool:
+    """Does the module import from the ``network`` package (any spelling:
+    ``repro.network...``, ``from ..network... import``)?"""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any("network" in alias.name.split(".")
+                   for alias in node.names):
+                return True
+        elif isinstance(node, ast.ImportFrom):
+            parts = (node.module or "").split(".")
+            if "network" in parts:
+                return True
+            if node.level and any(alias.name == "network"
+                                  for alias in node.names):
+                return True
+    return False
+
+
+def _looks_like_channel(expr: ast.expr) -> bool:
+    """Heuristic: does this receiver expression name a channel?"""
+    tail = ast.unparse(expr).lower().split(".")[-1]
+    return tail == "ch" or "chan" in tail
+
+
 class _Linter(ast.NodeVisitor):
-    def __init__(self, path: str, rel: str):
+    def __init__(self, path: str, rel: str, imports_network: bool = False):
         self.path = path
         #: repo-relative path with forward slashes, for scoped rules
         self.rel = rel.replace("\\", "/")
@@ -148,6 +187,9 @@ class _Linter(ast.NodeVisitor):
         self.in_core = "/core/" in f"/{self.rel}"
         self.guarded_scope = ("/runtime/" in f"/{self.rel}"
                               or "/resilience/" in f"/{self.rel}")
+        #: the module pulls in the network layer, so its channel traffic
+        #: may cross localities (REPRO007 scope)
+        self.imports_network = imports_network
 
     def _hit(self, node: ast.AST, rule: str, message: str) -> None:
         self.violations.append(
@@ -243,6 +285,16 @@ class _Linter(ast.NodeVisitor):
                           "in core/ bypasses the aggregation region (and its "
                           "launch accounting); use ExecutionEngine.map or an "
                           "AggregationRegion")
+        # REPRO007: channel sends in network-aware core/ modules must be
+        # routed (and charged) through the halo transport
+        if (self.in_core and self.imports_network
+                and isinstance(func, ast.Attribute) and func.attr == "set"
+                and _looks_like_channel(func.value)):
+            self._hit(node, "REPRO007",
+                      f"direct {ast.unparse(func.value)}.set() in a "
+                      "network-aware core/ module bypasses the parcelport "
+                      "accounting (local/remote split, eager/rendezvous "
+                      "tally); send through HaloTransport.send instead")
         # REPRO004: counter-name sections
         name_arg = None
         if (isinstance(func, ast.Attribute) and func.attr in _COUNTER_METHODS
@@ -287,7 +339,8 @@ def lint_source(source: str, path: str = "<string>",
     except SyntaxError as exc:
         return [Violation(path, exc.lineno or 0, "REPRO000",
                           f"syntax error: {exc.msg}")]
-    linter = _Linter(path, rel if rel is not None else path)
+    linter = _Linter(path, rel if rel is not None else path,
+                     imports_network=_imports_network(tree))
     linter.visit(tree)
     return sorted(linter.violations, key=lambda v: (v.line, v.rule))
 

@@ -162,6 +162,36 @@ def format_report(registry: CounterRegistry | None = None) -> str:
              "sender-cpu s", "wire s", "receiver-cpu s"], rows,
             title="parcelport cost components (/parcels)"))
 
+    dmesh = groups.get("distmesh")
+    if dmesh:
+        locs = sorted((k, v) for k, v in dmesh.items()
+                      if k.startswith("blocks/"))
+        if locs:
+            rows = [[k.split("/")[1], int(v)] for k, v in locs]
+            if "localities" in dmesh:
+                rows.append(["localities", int(dmesh["localities"])])
+            if "migrations" in dmesh or "block-migrations" in dmesh:
+                rows.append(["block migrations",
+                             int(dmesh.get("block-migrations",
+                                           dmesh.get("migrations", 0)))])
+            sections.append(format_table(
+                ["locality", "blocks"], rows,
+                title="block placement (/distmesh/blocks) — AGAS-sharded "
+                      "sub-grids"))
+        halo_rows = []
+        for key in ("sets", "gets", "local-msgs", "local-bytes",
+                    "remote-msgs", "remote-bytes", "onesided-msgs",
+                    "onesided-bytes", "eager", "rendezvous", "rma",
+                    "reordered"):
+            full = f"halo/{key}"
+            if full in dmesh:
+                halo_rows.append([key, int(dmesh[full])])
+        if halo_rows:
+            sections.append(format_table(
+                ["counter", "value"], halo_rows,
+                title="distributed halo traffic (/distmesh/halo) — "
+                      "local fast path vs parcelport-charged"))
+
     res = groups.get("resilience")
     if res:
         subgroups: dict[str, list[list]] = {}

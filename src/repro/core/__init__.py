@@ -5,6 +5,7 @@ from .grid import (SubGrid, RHO, SX, SY, SZ, EGAS, TAU, PASSIVE0, NPASSIVE,
 from .eos import IdealGas, DEFAULT_GAMMA
 from .exec import ExecutionEngine
 from .mesh import Mesh, BlockMesh, DistributedMesh, apply_boundary
+from .distmesh import DistBlockMesh, BlockComponent, slab_partition
 from .octree import Octree, OctreeNode, prolong, restrict
 from .amr import AmrMesh
 from .hydro.solver import HydroOptions, compute_rhs, cfl_dt
@@ -24,6 +25,7 @@ __all__ = [
     "NPASSIVE", "LX", "LY", "LZ", "NF", "NGHOST", "SUBGRID_N",
     "FIELD_NAMES", "IdealGas", "DEFAULT_GAMMA",
     "Mesh", "BlockMesh", "DistributedMesh", "apply_boundary",
+    "DistBlockMesh", "BlockComponent", "slab_partition",
     "ExecutionEngine",
     "Octree", "OctreeNode", "prolong", "restrict", "AmrMesh",
     "HydroOptions", "compute_rhs", "cfl_dt",

@@ -348,6 +348,8 @@ class BlockMesh:
         self._stage: dict[tuple[int, int, int], np.ndarray] | None = None
         # halo topology is fixed: precompute the 26-offset list, the
         # neighbour pairs and their channels once instead of per stage
+        self._offsets = [o for o in itertools.product((-1, 0, 1), repeat=3)
+                         if o != (0, 0, 0)]
         self._halo_plan = self._build_halo_plan()
 
     # -- state interchange with a flat array ------------------------------------
@@ -382,8 +384,7 @@ class BlockMesh:
         for every interior neighbour pair, receives and sends, with the
         channels created up front (they used to be key-tupled and looked
         up 26 times per block per stage)."""
-        offsets = [o for o in itertools.product((-1, 0, 1), repeat=3)
-                   if o != (0, 0, 0)]
+        offsets = self._offsets
         recv, send = [], []
         for ip in self.blocks:
             for off in offsets:
@@ -441,10 +442,40 @@ class BlockMesh:
                 sl.append(slice(g, g + s))
         blk[tuple(sl)] = data
 
+    def _periodic_wraps(self, ip) -> list[tuple[tuple[int, int, int],
+                                                tuple[int, int, int]]]:
+        """``(offset, source block)`` pairs for ghost regions of ``ip``
+        that cross the periodic seam — every one of the 26 offsets whose
+        neighbour falls outside the block lattice, wrapped coordinate-wise.
+        Face, edge *and* corner regions are all covered; the data each one
+        needs is the wrapped block's interior layer facing back at us
+        (the mirror of the offset), exactly as a channel neighbour would
+        have published it."""
+        wraps = []
+        for off in self._offsets:
+            nb = (ip[0] + off[0], ip[1] + off[1], ip[2] + off[2])
+            if nb in self.blocks:
+                continue
+            src_ip = tuple((ip[d] + off[d]) % self.bpe for d in range(3))
+            wraps.append((off, src_ip))
+        return wraps
+
     def _physical_boundary(self, ip, blk) -> None:
         """Apply the domain BC on faces without neighbours."""
         g = NGHOST
         s = self.nsub
+        if self.bc == "periodic":
+            # wrap ALL out-of-lattice offsets (faces, edges, corners):
+            # the old per-axis loop wrapped only the six face offsets and
+            # copied the wrong side of the source block — the axis-sweep
+            # reconstruction never read the stale edge/corner ghosts, but
+            # per-neighbour distributed halos do
+            for off, src_ip in self._periodic_wraps(ip):
+                mirror = (-off[0], -off[1], -off[2])
+                self._insert_halo(blk, off,
+                                  self._extract_halo(self.blocks[src_ip],
+                                                     mirror))
+            return
         for axis in range(3):
             for side in (-1, 1):
                 nb = list(ip)
@@ -452,16 +483,7 @@ class BlockMesh:
                 if 0 <= nb[axis] < self.bpe:
                     continue
                 # fill by copying the edge interior layer (outflow) or
-                # mirroring (reflect); periodic wraps to the far block
-                if self.bc == "periodic":
-                    src_ip = list(ip)
-                    src_ip[axis] = (ip[axis] + side) % self.bpe
-                    src = self.blocks[tuple(src_ip)]
-                    off = [0, 0, 0]
-                    off[axis] = side
-                    self._insert_halo(blk, tuple(off),
-                                      self._extract_halo(src, tuple(off)))
-                    continue
+                # mirroring (reflect)
                 sl = [slice(None)] * 4
                 if side == -1:
                     for k in range(g):

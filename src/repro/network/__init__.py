@@ -2,6 +2,7 @@
 
 from .parcelport import MessageCost, Parcelport, PARCELPORTS, EAGER_BYTES
 from .topology import DragonflyTopology
+from .transport import HaloTransport, TransportStats
 
 __all__ = ["MessageCost", "Parcelport", "PARCELPORTS", "EAGER_BYTES",
-           "DragonflyTopology"]
+           "DragonflyTopology", "HaloTransport", "TransportStats"]

@@ -1,0 +1,191 @@
+"""Halo transport: channel delivery charged through a parcelport.
+
+The distributed :class:`~repro.core.distmesh.DistBlockMesh` keeps the
+node-level halo protocol — one generation-matched
+:class:`~repro.runtime.channel.Channel` per neighbour direction per block
+(Sec. 5.2) — but a halo whose sender and receiver live on *different*
+localities is a parcel: it must be charged through the
+:class:`~repro.network.parcelport.Parcelport` cost model (eager vs
+rendezvous vs RMA by ``EAGER_BYTES``) like any other message, and it may
+arrive out of order.  This module is the seam between the two layers:
+
+* **local fast path** — sender and receiver share a locality; the value
+  goes straight into the channel, no parcelport charge (an intra-node
+  copy, exactly what HPX does when the AGAS resolution is local);
+* **remote path** — the payload is charged to a *dedicated* port (the
+  configured transport renamed ``halo:<name>``, so ``/parcels/halo:...``
+  counters isolate halo traffic from other parcel users), then delivered
+  into the channel.  With a ``reorder_seed`` the deliveries of one stage
+  are buffered and :meth:`~HaloTransport.flush`-ed in a seeded random
+  order — the generation matching of the channel protocol is what makes
+  that reordering invisible to the receiver, and the distributed tests
+  assert exactly that;
+* **one-sided charge** — periodic wraps are direct RMA-style copies with
+  no channel in between; :meth:`~HaloTransport.charge_onesided` books
+  their cross-locality cost so "every cross-locality halo is charged"
+  reconciles.
+
+The transport keeps its own tallies (:class:`TransportStats`) so a test
+can reconcile them against the port's ``/parcels/halo:<name>/*`` stats:
+``remote_msgs + onesided_msgs == port messages`` must hold exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+from .parcelport import EAGER_BYTES, PARCELPORTS, Parcelport, port_stats
+
+__all__ = ["HaloTransport", "TransportStats"]
+
+
+class TransportStats:
+    """Tallies of every halo moved (or charged) through one transport."""
+
+    __slots__ = ("local_msgs", "local_bytes", "remote_msgs", "remote_bytes",
+                 "onesided_msgs", "onesided_bytes", "eager", "rendezvous",
+                 "rma", "reordered")
+
+    def __init__(self) -> None:
+        self.local_msgs = 0
+        self.local_bytes = 0
+        self.remote_msgs = 0
+        self.remote_bytes = 0
+        self.onesided_msgs = 0
+        self.onesided_bytes = 0
+        self.eager = 0
+        self.rendezvous = 0
+        self.rma = 0
+        self.reordered = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {s: getattr(self, s) for s in self.__slots__}
+
+
+class HaloTransport:
+    """Deliver halo values into channels, charging cross-locality traffic.
+
+    Parameters
+    ----------
+    port:
+        Base transport (a :class:`Parcelport` or a name from
+        :data:`PARCELPORTS`).  The instance actually charged is a copy
+        renamed ``halo:<name>`` so halo traffic owns its
+        ``/parcels/halo:<name>/*`` stats.
+    reorder_seed:
+        When not ``None``, remote deliveries are buffered per stage and
+        :meth:`flush` hands them to the channels in a seeded random
+        order, modelling out-of-order parcel arrival.  Local deliveries
+        are never reordered (there is no wire to reorder them on).
+    """
+
+    def __init__(self, port: Parcelport | str = "libfabric",
+                 reorder_seed: int | None = None):
+        if isinstance(port, str):
+            port = PARCELPORTS[port]
+        self.base_port = port
+        self.port = replace(port, name=f"halo:{port.name}")
+        self.stats = TransportStats()
+        self._rng = (None if reorder_seed is None
+                     else random.Random(reorder_seed))
+        self._pending: list[tuple] = []
+        #: port tallies are process-global by name; remember what was
+        #: already there so this transport's snapshot is exact even when
+        #: several meshes share the halo port in one process
+        self._baseline = port_stats(self.port.name).snapshot()
+
+    # -- channel path ---------------------------------------------------------
+
+    def send(self, channel, value, generation: int,
+             src_locality: int, dst_locality: int) -> None:
+        """Publish ``value`` for ``generation`` on ``channel``.
+
+        Same-locality sends take the intra-node fast path; cross-locality
+        sends are charged to the parcelport first and — under a reorder
+        seed — buffered until :meth:`flush`.
+        """
+        nbytes = int(getattr(value, "nbytes", 0) or len(value))
+        st = self.stats
+        if src_locality == dst_locality:
+            st.local_msgs += 1
+            st.local_bytes += nbytes
+            channel.set(value, generation)
+            return
+        self._charge(nbytes)
+        st.remote_msgs += 1
+        st.remote_bytes += nbytes
+        if self._rng is None:
+            channel.set(value, generation)
+        else:
+            self._pending.append((channel, value, generation))
+
+    def flush(self) -> int:
+        """Deliver buffered remote sends in a seeded random order.
+
+        Must be called before the receives of the stage are drained (the
+        futures would otherwise never resolve); returns the number of
+        deliveries.  A no-op without a reorder seed.
+        """
+        if not self._pending:
+            return 0
+        batch, self._pending = self._pending, []
+        self._rng.shuffle(batch)
+        for channel, value, generation in batch:
+            channel.set(value, generation)
+        self.stats.reordered += len(batch)
+        return len(batch)
+
+    def discard_pending(self) -> int:
+        """Drop buffered remote sends without delivering them.
+
+        Used on checkpoint rollback: the buffered halos belong to the
+        timeline being discarded, and their channels are about to be
+        reset.  Their parcelport charge stands — the bytes did travel.
+        """
+        dropped = len(self._pending)
+        self._pending.clear()
+        return dropped
+
+    # -- one-sided path -------------------------------------------------------
+
+    def charge_onesided(self, nbytes: int, src_locality: int,
+                        dst_locality: int) -> None:
+        """Book the cost of a direct (channel-less) halo copy.
+
+        Periodic wraps read the source block's interior directly; when
+        the two blocks live on different localities that read is a
+        one-sided get over the wire and must be charged like one.
+        """
+        if src_locality == dst_locality:
+            return
+        self._charge(nbytes)
+        self.stats.onesided_msgs += 1
+        self.stats.onesided_bytes += nbytes
+
+    # -- accounting -----------------------------------------------------------
+
+    def _charge(self, nbytes: int) -> None:
+        self.port.message_cost(nbytes)
+        st = self.stats
+        if nbytes <= EAGER_BYTES:
+            st.eager += 1
+        elif self.port.rendezvous:
+            st.rendezvous += 1
+        else:
+            st.rma += 1
+
+    def port_snapshot(self) -> dict[str, float]:
+        """The ``/parcels`` tallies this transport added to its halo port."""
+        snap = port_stats(self.port.name).snapshot()
+        return {k: snap[k] - self._baseline[k] for k in snap}
+
+    def reconciles(self) -> bool:
+        """Every cross-locality halo charged — and nothing else."""
+        snap = self.port_snapshot()
+        st = self.stats
+        return (int(snap["messages"]) == st.remote_msgs + st.onesided_msgs
+                and int(snap["bytes"]) == st.remote_bytes + st.onesided_bytes
+                and int(snap["eager"]) == st.eager
+                and int(snap["rendezvous"]) == st.rendezvous
+                and int(snap["rma"]) == st.rma)

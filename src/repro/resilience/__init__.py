@@ -32,6 +32,8 @@ from .supervisor import DEFAULT_TASK_RETRIES, SupervisedEngine
 from .health import (DEFAULT_HEARTBEAT_INTERVAL_S, DEFAULT_PHI_THRESHOLD,
                      FailureDetector)
 from .chaos import ChaosConfig, ChaosResult, run_chaos_merger
+from .distrun import (DistributedMergerConfig, DistributedMergerResult,
+                      run_distributed_merger)
 
 __all__ = [
     "FaultInjector", "InjectedFault", "SimulationFault",
@@ -43,4 +45,6 @@ __all__ = [
     "FailureDetector", "DEFAULT_PHI_THRESHOLD",
     "DEFAULT_HEARTBEAT_INTERVAL_S",
     "ChaosConfig", "ChaosResult", "run_chaos_merger",
+    "DistributedMergerConfig", "DistributedMergerResult",
+    "run_distributed_merger",
 ]

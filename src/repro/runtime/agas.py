@@ -104,6 +104,11 @@ class AgasRuntime:
         self._failed: set[int] = set()
         #: GIDs invalidated by a locality failure -> the locality that died
         self._lost: dict[Gid, int] = {}
+        #: per-gid FIFO of move notifications not yet delivered; whichever
+        #: thread queues onto an *empty* FIFO owns draining it, so
+        #: ``on_migrate`` callbacks always arrive in commit order even
+        #: when migrations race (and never run under ``self._lock``)
+        self._notify: dict[Gid, list[tuple[Component, int, int]]] = {}
 
     # -- registration -------------------------------------------------------
 
@@ -150,7 +155,16 @@ class AgasRuntime:
     # -- migration --------------------------------------------------------------
 
     def migrate(self, gid: Gid, new_locality: int) -> None:
-        """Move a component; its GID remains valid (the AGAS promise)."""
+        """Move a component; its GID remains valid (the AGAS promise).
+
+        The ``on_migrate`` notification is committed under ``self._lock``
+        together with the home-table update and delivered through a
+        per-gid FIFO: two racing migrations of the same gid can therefore
+        never observe their callbacks out of order (the old code invoked
+        the hook after dropping the lock, so the second mover's callback
+        could arrive first, leaving the component believing in a stale
+        home).
+        """
         self._check_locality(new_locality)
         self._check_alive(new_locality)
         with self._lock:
@@ -164,7 +178,51 @@ class AgasRuntime:
             self._home[gid] = new_locality
             comp = self._objects[gid]
             self._migrations += 1
-        comp.on_migrate(old, new_locality)
+            owner = self._queue_notification(gid, comp, old, new_locality)
+        if owner:
+            self._drain_notifications(gid)
+
+    def _queue_notification(self, gid: Gid, comp: Component,
+                            old: int, new: int) -> bool:
+        """Append a move notification (caller holds ``self._lock``).
+
+        Returns True when the caller became the drainer: the FIFO was
+        empty, so no other thread is currently delivering for this gid.
+        """
+        pending = self._notify.setdefault(gid, [])
+        pending.append((comp, old, new))
+        return len(pending) == 1
+
+    def _drain_notifications(self, gid: Gid) -> None:
+        """Deliver queued ``on_migrate`` callbacks in commit order.
+
+        Runs without ``self._lock`` held during the callback (the hook may
+        re-enter the runtime).  An entry is popped only *after* its
+        callback returns, so racing migrators see a non-empty FIFO and
+        leave delivery — including of their own entry — to this thread.
+        A raising callback does not strand the entries queued behind it;
+        the first exception is re-raised once the FIFO is dry.
+        """
+        first_exc: BaseException | None = None
+        while True:
+            with self._lock:
+                pending = self._notify.get(gid)
+                if not pending:
+                    self._notify.pop(gid, None)
+                    break
+                comp, old, new = pending[0]
+            try:
+                comp.on_migrate(old, new)
+            except BaseException as exc:
+                if first_exc is None:
+                    first_exc = exc
+            finally:
+                with self._lock:
+                    pending.pop(0)
+                    if not pending:
+                        del self._notify[gid]
+        if first_exc is not None:
+            raise first_exc
 
     @property
     def migrations(self) -> int:
@@ -225,7 +283,7 @@ class AgasRuntime:
         resolve to :class:`LocalityFailed` from now on.  Idempotent.
         """
         self._check_locality(locality)
-        moves: list[tuple[Component, int]] = []
+        drains: list[Gid] = []
         with self._lock:
             if locality in self._failed:
                 return {"migrated": [], "lost": []}
@@ -242,15 +300,16 @@ class AgasRuntime:
                     new = survivors[len(migrated) % len(survivors)]
                     self._home[gid] = new
                     self._migrations += 1
-                    moves.append((comp, new))
+                    if self._queue_notification(gid, comp, locality, new):
+                        drains.append(gid)
                     migrated.append(gid)
                 else:
                     del self._objects[gid]
                     del self._home[gid]
                     self._lost[gid] = locality
                     lost.append(gid)
-        for comp, new in moves:
-            comp.on_migrate(locality, new)
+        for gid in drains:
+            self._drain_notifications(gid)
         self.registry.increment("/resilience/agas/localities-failed")
         self.registry.increment("/resilience/agas/components-migrated",
                                 len(migrated))

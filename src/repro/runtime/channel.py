@@ -106,21 +106,25 @@ class Channel(Generic[T]):
         After :meth:`close`, generations whose value was already ``set``
         still drain normally; only unmatched gets raise
         :class:`ChannelClosed`.
+
+        The get cursor (``_next_get``) advances only when a get actually
+        succeeds: a get that raises :class:`ChannelClosed` must not burn
+        its generation number, or a later default get would skip past a
+        value still buffered at a lower generation and never drain it.
         """
         with self._lock:
             if generation is None:
                 generation = self._next_get
-                self._next_get += 1
-            else:
-                self._next_get = max(self._next_get, generation + 1)
             if generation in self._ready:
                 value = self._ready.pop(generation)
+                self._next_get = max(self._next_get, generation + 1)
                 self._mark_consumed(generation)
                 p = Promise()
                 p.set_value(value)
                 return p.get_future()
             if self._closed:
                 raise ChannelClosed(f"channel {self.name!r} is closed")
+            self._next_get = max(self._next_get, generation + 1)
             promise = self._promises.get(generation)
             if promise is None:
                 promise = Promise()

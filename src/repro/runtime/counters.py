@@ -31,6 +31,7 @@ __all__ = ["CounterRegistry", "default_registry", "counter", "gauge", "timer",
 KNOWN_SECTIONS = frozenset({
     "agas",        # global address space (runtime/agas.py)
     "cuda",        # device/stream/launch statistics (runtime/cuda.py)
+    "distmesh",    # distributed block mesh (core/distmesh.py)
     "exec",        # futurized execution engine (core/exec.py)
     "fmm",         # fast multipole gravity solver (core/gravity/fmm.py)
     "futures",     # future/continuation dispatch (runtime/future.py)

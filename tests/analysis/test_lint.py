@@ -176,6 +176,49 @@ def test_repro006_clean_outside_core_and_for_other_bases():
     assert _lint("engine.map(fn, argtuples)", rel="repro/core/mesh.py") == []
 
 
+# -- REPRO007: unaccounted channel set in network-aware core/ -------------
+
+_NETWORK_IMPORT = "from ..network.transport import HaloTransport\n"
+
+
+def test_repro007_direct_set_in_network_aware_core_module():
+    vs = _lint(_NETWORK_IMPORT + "ch.set(halo, generation)",
+               rel="repro/core/distmesh.py")
+    assert [v.rule for v in vs] == ["REPRO007"]
+    assert "HaloTransport" in vs[0].message
+
+
+def test_repro007_matches_channel_spellings():
+    for recv in ("ch", "chan", "channel", "self._channel((nb, off))",
+                 "halo_channel"):
+        vs = _lint(_NETWORK_IMPORT + f"{recv}.set(v, g)",
+                   rel="repro/core/distmesh.py")
+        assert [v.rule for v in vs] == ["REPRO007"], recv
+
+
+def test_repro007_clean_without_network_import():
+    # core/mesh.py is node-level: no network import, direct sets are fine
+    assert _lint("ch.set(halo, generation)", rel="repro/core/mesh.py") == []
+
+
+def test_repro007_clean_outside_core_and_for_other_receivers():
+    # the network layer itself delivers into channels — that IS the route
+    assert _lint(_NETWORK_IMPORT + "ch.set(v, g)",
+                 rel="repro/network/transport.py") == []
+    # non-channel .set() receivers in network-aware core/ are untouched
+    assert _lint(_NETWORK_IMPORT + "flags.set(True)",
+                 rel="repro/core/distmesh.py") == []
+    # transport-mediated sends are the sanctioned route
+    assert _lint(_NETWORK_IMPORT + "transport.send(ch, v, g, src, dst)",
+                 rel="repro/core/distmesh.py") == []
+
+
+def test_repro007_absolute_import_spelling_also_counts():
+    vs = _lint("import repro.network.parcelport as pp\nch.set(v, g)",
+               rel="repro/core/distmesh.py")
+    assert [v.rule for v in vs] == ["REPRO007"]
+
+
 # -- syntax errors, repo cleanliness, CLI ---------------------------------
 
 def test_syntax_error_is_reported_not_raised():

@@ -1,0 +1,53 @@
+"""Regression: a failed ``Channel.get`` must not burn a generation.
+
+The old ``get()`` advanced ``_next_get`` before the closed-channel check
+raised, so a get that failed with :class:`ChannelClosed` consumed its
+generation number anyway — and a later default-generation get skipped
+past a value still buffered at a lower generation, never draining it.
+"""
+
+import pytest
+
+from repro.runtime.channel import Channel, ChannelClosed
+
+
+class TestClosedGetDoesNotBurnGeneration:
+    def test_buffered_value_still_drains_after_failed_explicit_get(self):
+        ch = Channel(name="halo")
+        ch.set("a", generation=0)
+        ch.close()
+        with pytest.raises(ChannelClosed):
+            ch.get(generation=7)
+        # the old code had advanced the cursor to 8 here, so this default
+        # get asked for generation 8 and raised forever; the buffered
+        # value at generation 0 was unreachable
+        assert ch.get().get() == "a"
+
+    def test_default_cursor_unmoved_by_failed_get(self):
+        ch = Channel(name="halo")
+        ch.set("late", generation=1)
+        ch.close()
+        with pytest.raises(ChannelClosed):
+            ch.get()  # default generation 0 is unmatched -> closed
+        # generation 1 must still be the next drainable value
+        assert ch.get(generation=1).get() == "late"
+
+    def test_repeated_failed_gets_stay_at_same_generation(self):
+        ch = Channel(name="halo")
+        ch.close()
+        for _ in range(3):
+            with pytest.raises(ChannelClosed):
+                ch.get()
+        ch.reset()
+        ch.set("fresh")  # default set: generation 0
+        assert ch.get().get() == "fresh"
+
+    def test_successful_gets_still_advance_in_order(self):
+        ch = Channel(name="halo")
+        ch.set("a", generation=0)
+        ch.set("b", generation=1)
+        ch.close()
+        assert ch.get().get() == "a"
+        assert ch.get().get() == "b"
+        with pytest.raises(ChannelClosed):
+            ch.get()
