@@ -35,6 +35,14 @@ Run from the repo root::
 serial) times the serial throughput, if the two runs diverge bitwise,
 or if the aggregation ratio ``/cuda/aggregated-per-launch`` is not
 above ``--min-agg`` (default 4).
+
+The report also carries a ``kernels`` block from
+:mod:`kernels_micro` — per-kernel ns/interaction (p2p, m2l
+fused-vs-reference, greens) and ns/zone (reconstruct, kt_flux, full
+RHS fused-vs-reference) — and ``--check`` additionally requires the
+block to be present and the fused m2l and hydro-RHS kernels to beat
+their retained reference implementations by ``--min-kernel-speedup``
+(default 1.5x).
 """
 
 from __future__ import annotations
@@ -48,12 +56,15 @@ import time
 import numpy as np
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))
 
 from repro.core import BlockMesh, SUBGRID_N  # noqa: E402
 from repro.core.exec import ExecutionEngine  # noqa: E402
 from repro.core.scenario import equilibrium_star  # noqa: E402
 from repro.runtime import CudaDevice, WorkStealingScheduler  # noqa: E402
 from repro.runtime.counters import default_registry  # noqa: E402
+
+from kernels_micro import run_kernels_micro  # noqa: E402
 
 #: counters whose per-step delta feeds the interaction rate
 _RATE_KEYS = ("/fmm/interactions/multipole", "/fmm/interactions/monopole")
@@ -125,6 +136,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-agg", type=float, default=4.0,
                         help="minimum /cuda/aggregated-per-launch ratio "
                              "for --check (default 4)")
+    parser.add_argument("--min-kernel-speedup", type=float, default=1.5,
+                        help="minimum fused/reference speedup of the m2l "
+                             "and hydro-RHS microbenchmarks for --check "
+                             "(default 1.5)")
+    parser.add_argument("--skip-kernels", action="store_true",
+                        help="skip the per-kernel microbenchmarks (the "
+                             "kernels block is then absent and --check "
+                             "fails)")
     parser.add_argument("--agg-slots", type=int, default=16,
                         help="aggregation slot-buffer capacity (default 16)")
     args = parser.parse_args(argv)
@@ -195,6 +214,8 @@ def main(argv: list[str] | None = None) -> int:
         "bit_identical": bit_identical,
         "counters": counters,
     }
+    if not args.skip_kernels:
+        report["kernels"] = run_kernels_micro()
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
 
@@ -213,6 +234,12 @@ def main(argv: list[str] | None = None) -> int:
           f"{engine.agg_launches} launches "
           f"({engine.aggregated_per_launch:.1f} per launch)")
     print(f"  bit-identical end state: {bit_identical}")
+    if "kernels" in report:
+        k = report["kernels"]
+        print(f"  kernels: m2l {k['m2l']['ns_per_item']:.0f} ns/inter "
+              f"({k['m2l_speedup']:.2f}x ref), "
+              f"rhs {k['rhs']['ns_per_item']:.0f} ns/zone "
+              f"({k['rhs_speedup']:.2f}x ref)")
     print(f"wrote {args.out}")
 
     if args.check:
@@ -234,6 +261,18 @@ def main(argv: list[str] | None = None) -> int:
                   f"{engine.aggregated_per_launch:.1f} tasks/launch "
                   f"<= {args.min_agg:.1f}", file=sys.stderr)
             return 1
+        if "kernels" not in report:
+            print("CHECK FAILED: kernels block missing from report",
+                  file=sys.stderr)
+            return 1
+        kernels = report["kernels"]
+        for name in ("m2l", "rhs"):
+            speedup = kernels[f"{name}_speedup"]
+            if speedup < args.min_kernel_speedup:
+                print(f"CHECK FAILED: fused {name} only {speedup:.2f}x its "
+                      f"reference < {args.min_kernel_speedup:.2f}x",
+                      file=sys.stderr)
+                return 1
         print("check passed")
     return 0
 

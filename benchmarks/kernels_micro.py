@@ -1,0 +1,169 @@
+"""Per-kernel microbenchmarks for the fused SoA physics kernels.
+
+Times each building-block kernel on representative batch sizes and
+reports ns per interaction (gravity pair kernels) or ns per zone/face
+(hydro kernels).  Where a reference implementation exists (the einsum
+``m2l_pair_reference`` and the allocate-per-stage
+``compute_rhs_reference``) both variants are timed and the speedup of
+the fused path is reported — the CI gate asserts fused >= 1.5x for m2l
+and the full RHS.
+
+Used two ways:
+
+* imported by ``bench_step.py`` so ``BENCH_step.json`` grows a
+  ``kernels`` block tracking per-kernel cost per PR;
+* run standalone::
+
+      PYTHONPATH=src python benchmarks/kernels_micro.py
+
+All timings are min-of-N (same estimator as ``timeit``): the minimum
+over repeats discards scheduling noise and shared-host contention.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import IdealGas, NF, NGHOST, RHO, EGAS, TAU  # noqa: E402
+from repro.core.gravity.kernels import (greens, m2l_pair,  # noqa: E402
+                                        m2l_pair_reference, p2p_pair)
+from repro.core.hydro.reconstruct import ppm_faces  # noqa: E402
+from repro.core.hydro.riemann import (conserved_to_primitive,  # noqa: E402
+                                      kt_flux, kt_flux_reference)
+from repro.core.hydro.solver import (HydroOptions, compute_rhs,  # noqa: E402
+                                     compute_rhs_reference)
+from repro.core.mesh import apply_boundary  # noqa: E402
+from repro.core.workspace import Workspace  # noqa: E402
+
+#: pair-batch size for the gravity kernels (one aggregated launch's worth)
+PAIR_N = 16384
+#: hydro block edge (interior zones per side)
+HYDRO_N = 32
+
+
+def _time(fn, *, repeats: int = 5) -> float:
+    """Best wall time of ``fn()`` over ``repeats`` calls (one warmup)."""
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _pair_batch(n: int = PAIR_N):
+    rng = np.random.default_rng(4)
+    dR = rng.normal(size=(n, 3)) * 6 + 5
+    mA = rng.uniform(0.5, 2.0, n)
+    mB = rng.uniform(0.5, 2.0, n)
+    M2 = rng.normal(size=(n, 3, 3))
+    M2 = 0.5 * (M2 + M2.transpose(0, 2, 1))
+    return dR, mA, mB, M2
+
+
+def _hydro_block(n: int = HYDRO_N):
+    rng = np.random.default_rng(6)
+    opts = HydroOptions(eos=IdealGas())
+    m = n + 2 * NGHOST
+    U = np.zeros((NF, m, m, m))
+    U[RHO] = rng.uniform(0.5, 2.0, (m, m, m))
+    U[EGAS] = rng.uniform(0.5, 2.0, (m, m, m))
+    U[TAU] = opts.eos.tau_from_eint(U[EGAS])
+    apply_boundary(U, "periodic")
+    return U, opts
+
+
+def run_kernels_micro(repeats: int = 5) -> dict:
+    """Time every kernel; return the ``kernels`` block for the report.
+
+    Every entry carries ``seconds`` (best wall time of one batch) and
+    ``ns_per_item`` (interaction, zone, or face).  ``m2l_speedup`` and
+    ``rhs_speedup`` compare the fused kernels against their retained
+    reference implementations on identical inputs.
+    """
+    dR, mA, mB, M2 = _pair_batch()
+    n_pairs = len(dR)
+
+    p2p_out = tuple(np.empty(s) for s in
+                    ((n_pairs,), (n_pairs,), (n_pairs, 3), (n_pairs, 3)))
+    m2l_out = tuple(np.empty(s) for s in
+                    ((n_pairs,), (n_pairs,), (n_pairs, 3), (n_pairs, 3),
+                     (n_pairs, 3, 3), (n_pairs, 3, 3)))
+
+    t_p2p = _time(lambda: p2p_pair(dR, mA, mB, out=p2p_out),
+                  repeats=repeats)
+    t_m2l = _time(lambda: m2l_pair(dR, mA, mB, M2, M2, out=m2l_out),
+                  repeats=repeats)
+    t_m2l_ref = _time(lambda: m2l_pair_reference(dR, mA, mB, M2, M2),
+                      repeats=repeats)
+    t_greens = _time(lambda: greens(dR), repeats=repeats)
+
+    U, opts = _hydro_block()
+    ws = Workspace()
+    W = conserved_to_primitive(U, opts.eos, opts.rho_floor)
+    n_zones = HYDRO_N ** 3
+
+    # reconstruction along x: array axis 1 (dim 0 is the field index)
+    t_rec = _time(lambda: ppm_faces(W, NGHOST, 1, ws=ws),
+                  repeats=repeats)
+
+    WL, WR = (f.copy() for f in ppm_faces(W, NGHOST, 1))
+    n_faces = int(np.prod(WL.shape[1:]))
+    flux_out = np.empty_like(WL)
+    t_ktf = _time(lambda: kt_flux(WL, WR, opts.eos, 0, out=flux_out, ws=ws),
+                  repeats=repeats)
+    t_ktf_ref = _time(lambda: kt_flux_reference(WL, WR, opts.eos, 0),
+                      repeats=repeats)
+
+    rhs_out = np.empty((NF, HYDRO_N, HYDRO_N, HYDRO_N))
+    t_rhs = _time(lambda: compute_rhs(U, 1.0 / HYDRO_N, opts,
+                                      out=rhs_out, ws=ws),
+                  repeats=repeats)
+    t_rhs_ref = _time(lambda: compute_rhs_reference(U, 1.0 / HYDRO_N, opts),
+                      repeats=repeats)
+
+    def entry(seconds: float, items: int) -> dict:
+        return {"seconds": seconds, "items": items,
+                "ns_per_item": 1e9 * seconds / items}
+
+    return {
+        "pair_batch": n_pairs,
+        "hydro_grid": HYDRO_N,
+        "p2p": entry(t_p2p, n_pairs),
+        "m2l": entry(t_m2l, n_pairs),
+        "m2l_reference": entry(t_m2l_ref, n_pairs),
+        "greens": entry(t_greens, n_pairs),
+        "reconstruct": entry(t_rec, n_zones),
+        "kt_flux": entry(t_ktf, n_faces),
+        "kt_flux_reference": entry(t_ktf_ref, n_faces),
+        "rhs": entry(t_rhs, n_zones),
+        "rhs_reference": entry(t_rhs_ref, n_zones),
+        "m2l_speedup": t_m2l_ref / t_m2l,
+        "rhs_speedup": t_rhs_ref / t_rhs,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    kernels = run_kernels_micro()
+    for name in ("p2p", "m2l", "m2l_reference", "greens", "reconstruct",
+                 "kt_flux", "kt_flux_reference", "rhs", "rhs_reference"):
+        e = kernels[name]
+        print(f"  {name:18s} {e['ns_per_item']:10.1f} ns/item "
+              f"({e['items']} items, best {1e3 * e['seconds']:.3f} ms)")
+    print(f"  m2l fused speedup  {kernels['m2l_speedup']:.2f}x")
+    print(f"  rhs fused speedup  {kernels['rhs_speedup']:.2f}x")
+    if argv and "--json" in argv:
+        print(json.dumps(kernels, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -63,6 +63,20 @@ REPRO007 *unaccounted-channel-set*
     through the transport (``transport.send(channel, ...)``).  The
     node-level ``core/mesh.py`` does not import the network layer and is
     deliberately out of scope.
+
+REPRO008 *alloc-in-hot-kernel*
+    An ``np.empty`` / ``np.zeros`` / ``np.empty_like`` /
+    ``np.zeros_like`` / ``np.concatenate`` call in a ``core/gravity/``
+    or ``core/hydro/`` function that takes an ``out=`` or ``ws``
+    (workspace) parameter, outside any branch conditioned on those
+    parameters.  Such functions are the per-step hot kernels: when the
+    caller supplies scratch, allocating anyway reintroduces exactly the
+    per-stage churn the workspace plumbing removed.  Allocation is fine
+    in the fallback branch for workspace-less callers (``if ws is
+    None: ...`` / ``x if out is not None else np.empty(...)``) — the
+    rule only fires on unconditional allocations.  Reference kernels
+    without an ``out=``/``ws`` parameter are out of scope by
+    construction.
 """
 
 from __future__ import annotations
@@ -118,6 +132,10 @@ RULES: dict[str, tuple[str, str]] = {
                  "direct Channel.set in a network-aware core/ module "
                  "bypasses the parcelport accounting; send halos through "
                  "HaloTransport.send"),
+    "REPRO008": ("alloc-in-hot-kernel",
+                 "core/gravity/ and core/hydro/ kernels taking out=/ws "
+                 "must not allocate unconditionally via np.empty/np.zeros/"
+                 "np.concatenate; allocate only in the no-workspace branch"),
 }
 
 #: scheduler entry points whose callable arguments become task bodies
@@ -130,6 +148,11 @@ _COUNTER_FUNCS = {"counter", "gauge", "timer"}
 
 #: wall-clock / randomness calls banned from core/ (REPRO003)
 _NONDET_TIME = {"time", "time_ns"}
+
+#: numpy allocators banned from unconditional hot-kernel paths (REPRO008)
+_ALLOC_FUNCS = {"empty", "zeros", "empty_like", "zeros_like", "concatenate"}
+#: parameter names that mark a function as workspace-aware
+_SCRATCH_PARAMS = {"out", "ws"}
 
 
 def _is_unbounded_get(node: ast.Call) -> bool:
@@ -187,6 +210,9 @@ class _Linter(ast.NodeVisitor):
         self.in_core = "/core/" in f"/{self.rel}"
         self.guarded_scope = ("/runtime/" in f"/{self.rel}"
                               or "/resilience/" in f"/{self.rel}")
+        #: per-step hot-kernel directories (REPRO008 scope)
+        self.hot_kernel_scope = ("/core/gravity/" in f"/{self.rel}"
+                                 or "/core/hydro/" in f"/{self.rel}")
         #: the module pulls in the network layer, so its channel traffic
         #: may cross localities (REPRO007 scope)
         self.imports_network = imports_network
@@ -248,6 +274,59 @@ class _Linter(ast.NodeVisitor):
                           "neither used as a context manager nor released "
                           "in a finally block; an exception here leaks the "
                           "stream until the lease timeout")
+
+    # -- REPRO008 ---------------------------------------------------------
+
+    @staticmethod
+    def _is_np_alloc(node: ast.expr) -> bool:
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _ALLOC_FUNCS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in ("np", "numpy"))
+
+    def _check_hot_kernel_allocs(self, fn) -> None:
+        """REPRO008: unconditional numpy allocations in out=/ws kernels.
+
+        Only functions that *take* an ``out`` or ``ws`` parameter are in
+        scope; an allocation is tolerated anywhere lexically inside an
+        ``if``/conditional expression whose test mentions one of those
+        parameters (the fallback branch for callers without scratch).
+        Nested function definitions are checked independently against
+        their own signatures.
+        """
+        if not self.hot_kernel_scope:
+            return
+        args = fn.args
+        params = {a.arg for a in (args.posonlyargs + args.args
+                                  + args.kwonlyargs)}
+        scratch = params & _SCRATCH_PARAMS
+        if not scratch:
+            return
+
+        def test_mentions_scratch(test: ast.expr) -> bool:
+            return any(isinstance(sub, ast.Name) and sub.id in scratch
+                       for sub in ast.walk(test))
+
+        def walk(node: ast.AST, guarded: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                    continue                # judged by its own signature
+                g = guarded
+                if (isinstance(child, (ast.If, ast.IfExp))
+                        and test_mentions_scratch(child.test)):
+                    g = True
+                if not g and self._is_np_alloc(child):
+                    names = "/".join(sorted(scratch))
+                    self._hit(child, "REPRO008",
+                              f"np.{child.func.attr}() in a hot kernel "
+                              f"that takes {names}: write into the "
+                              "caller's scratch, or allocate only in a "
+                              f"branch conditioned on {names}")
+                walk(child, g)
+
+        walk(fn, False)
 
     # -- visitors ---------------------------------------------------------
 
@@ -316,10 +395,12 @@ class _Linter(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_lease_guards(node)
+        self._check_hot_kernel_allocs(node)
         self.generic_visit(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_lease_guards(node)
+        self._check_hot_kernel_allocs(node)
         self.generic_visit(node)
 
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
@@ -370,7 +451,7 @@ def lint_paths(paths: Iterable[str]) -> list[Violation]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="repo-specific AST lint pass (REPRO001..REPRO006)")
+        description="repo-specific AST lint pass (REPRO001..REPRO008)")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
     parser.add_argument("--rules", action="store_true",

@@ -25,7 +25,7 @@ import numpy as np
 
 from .eos import IdealGas
 from .grid import NF, NGHOST, RHO, SUBGRID_N, SX, TAU
-from .hydro.solver import HydroOptions, compute_rhs
+from .hydro.solver import HydroOptions, apply_floors, compute_rhs
 from .hydro.riemann import conserved_to_primitive
 from .octree import Octree, OctreeNode, prolong, restrict
 
@@ -285,16 +285,14 @@ class AmrMesh:
         for key, r in rhs1.items():
             U = self.tree.nodes[key].grid.U
             U[inner] += dt * r
-            np.maximum(U[RHO], self.options.rho_floor, out=U[RHO])
-            np.maximum(U[TAU], 0.0, out=U[TAU])
+            apply_floors(U, self.options)
         self.fill_ghosts()
         rhs2, _ = self._rhs_all()
         for key in rhs1:
             U = self.tree.nodes[key].grid.U
             U[...] = saved[key]
             U[inner] += 0.5 * dt * (rhs1[key] + rhs2[key])
-            np.maximum(U[RHO], self.options.rho_floor, out=U[RHO])
-            np.maximum(U[TAU], 0.0, out=U[TAU])
+            apply_floors(U, self.options)
             eos = self.options.eos
             I = U[inner]
             I[TAU] = eos.sync_tau(I[RHO], I[SX], I[SX + 1], I[SX + 2],

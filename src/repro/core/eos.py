@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["IdealGas", "DEFAULT_GAMMA", "DUAL_ENERGY_ETA1", "DUAL_ENERGY_ETA2"]
+__all__ = ["IdealGas", "DEFAULT_GAMMA", "DEFAULT_RHO_FLOOR",
+           "DUAL_ENERGY_ETA1", "DUAL_ENERGY_ETA2"]
 
 #: monatomic / fully convective stellar matter
 DEFAULT_GAMMA = 5.0 / 3.0
@@ -25,21 +26,37 @@ DEFAULT_GAMMA = 5.0 / 3.0
 DUAL_ENERGY_ETA1 = 1e-3
 #: re-sync tau from E when (E - K)/E exceeds this (trustworthy regime)
 DUAL_ENERGY_ETA2 = 1e-1
+#: default vacuum density floor, shared with the hydro solver options
+DEFAULT_RHO_FLOOR = 1e-12
 
 _FLOOR = 1e-300
 
 
 class IdealGas:
-    """p = (gamma - 1) rho e ideal gas with dual-energy bookkeeping."""
+    """p = (gamma - 1) rho e ideal gas with dual-energy bookkeeping.
+
+    ``rho_floor`` is the density below which a cell counts as vacuum.
+    It used to be an independent ``1e-300`` clamp inside
+    :meth:`sound_speed` / :meth:`kinetic`, which let a fault-corrupted
+    cell with ``rho ~ 1e-200`` and finite momentum report ~1e100
+    kinetic energies and signal speeds; it is now the *same* floor the
+    hydro solver applies to the state
+    (:class:`repro.core.hydro.solver.HydroOptions` syncs it), so every
+    layer agrees on what vacuum means.
+    """
 
     def __init__(self, gamma: float = DEFAULT_GAMMA,
                  eta1: float = DUAL_ENERGY_ETA1,
-                 eta2: float = DUAL_ENERGY_ETA2):
+                 eta2: float = DUAL_ENERGY_ETA2,
+                 rho_floor: float = DEFAULT_RHO_FLOOR):
         if gamma <= 1.0:
             raise ValueError("gamma must exceed 1")
+        if rho_floor <= 0.0:
+            raise ValueError("rho_floor must be positive")
         self.gamma = float(gamma)
         self.eta1 = float(eta1)
         self.eta2 = float(eta2)
+        self.rho_floor = float(rho_floor)
 
     # -- basic relations ---------------------------------------------------
 
@@ -49,7 +66,7 @@ class IdealGas:
 
     def sound_speed(self, rho: np.ndarray, p: np.ndarray) -> np.ndarray:
         return np.sqrt(self.gamma * np.maximum(p, 0.0)
-                       / np.maximum(rho, _FLOOR))
+                       / np.maximum(rho, self.rho_floor))
 
     def tau_from_eint(self, eint: np.ndarray) -> np.ndarray:
         """Entropy tracer from internal energy density."""
@@ -62,7 +79,8 @@ class IdealGas:
 
     def kinetic(self, rho: np.ndarray, sx: np.ndarray, sy: np.ndarray,
                 sz: np.ndarray) -> np.ndarray:
-        return 0.5 * (sx * sx + sy * sy + sz * sz) / np.maximum(rho, _FLOOR)
+        return 0.5 * (sx * sx + sy * sy + sz * sz) \
+            / np.maximum(rho, self.rho_floor)
 
     def internal_energy(self, rho: np.ndarray, sx: np.ndarray,
                         sy: np.ndarray, sz: np.ndarray, egas: np.ndarray,

@@ -29,17 +29,26 @@ def direct_field(pos: np.ndarray, mass: np.ndarray,
     tg = pos if targets is None else np.asarray(targets, dtype=np.float64)
     phi = np.zeros(len(tg))
     acc = np.zeros((len(tg), 3))
+    # chunk-sized scratch hoisted out of the loop (the last, possibly
+    # shorter chunk uses leading views)
+    c_max = min(_CHUNK, max(len(tg), 1))
+    d_buf = np.empty((c_max, len(pos), 3))
+    r2_buf = np.empty((c_max, len(pos)))
     for lo in range(0, len(tg), _CHUNK):
         hi = min(lo + _CHUNK, len(tg))
-        d = tg[lo:hi, None, :] - pos[None, :, :]     # (c, n, 3)
-        r2 = np.einsum("cnk,cnk->cn", d, d)
+        c = hi - lo
+        d = np.subtract(tg[lo:hi, None, :], pos[None, :, :],
+                        out=d_buf[:c])                       # (c, n, 3)
+        r2 = np.add(d[:, :, 0] * d[:, :, 0] + d[:, :, 1] * d[:, :, 1],
+                    d[:, :, 2] * d[:, :, 2], out=r2_buf[:c])
         near_zero = r2 < 1e-24
-        r2 = np.where(near_zero, 1.0, r2)
+        r2[near_zero] = 1.0
         inv = 1.0 / np.sqrt(r2)
-        inv = np.where(near_zero, 0.0, inv)
+        inv[near_zero] = 0.0
         phi[lo:hi] = -(mass[None, :] * inv).sum(axis=1)
-        acc[lo:hi] = np.einsum(
-            "cn,cnk->ck", mass[None, :] * inv ** 3, -d)
+        w = mass[None, :] * inv ** 3
+        for k in range(3):
+            acc[lo:hi, k] = -(w * d[:, :, k]).sum(axis=1)
     return phi, acc
 
 

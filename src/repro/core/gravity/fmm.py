@@ -38,6 +38,7 @@ import numpy as np
 
 from ...runtime.counters import default_registry
 from ...util import morton_key
+from ..workspace import Workspace
 from .kernels import m2l_pair, p2p_pair, p2p_pair_staged
 from .multipole import aggregate_m2m, taylor_shift
 from .stencil import (OPENING_R2, canonical_stencil, p2p_stencil,
@@ -46,6 +47,17 @@ from .stencil import (OPENING_R2, canonical_stencil, p2p_stencil,
 __all__ = ["FmmLevel", "FmmSolver", "GravityResult"]
 
 _TINY = 1e-300
+
+
+def _fresh_p2p_out(n: int) -> tuple[np.ndarray, ...]:
+    """Freshly allocated (phiA, phiB, accA, accB) batch outputs."""
+    return (np.empty(n), np.empty(n), np.empty((n, 3)), np.empty((n, 3)))
+
+
+def _fresh_m2l_out(n: int) -> tuple[np.ndarray, ...]:
+    """Freshly allocated (phiA, phiB, accA, accB, HA, HB) batch outputs."""
+    return (np.empty(n), np.empty(n), np.empty((n, 3)), np.empty((n, 3)),
+            np.empty((n, 3, 3)), np.empty((n, 3, 3)))
 
 
 @dataclass
@@ -169,6 +181,17 @@ class FmmSolver:
         self._plan: list[tuple] | None = None
         self._stage: list[tuple | None] | None = None
         self._stage_bytes = 0
+        # scratch for the serial compute path: pair gathers and kernel
+        # outputs live in capacity-grown buffers reused across batches
+        # and solves (each batch is fully accumulated before the next
+        # compute, so reuse is safe; the futurized path draws per-entry
+        # outputs from a slot-indexed pool instead — see _compute_entry)
+        self._ws = Workspace()
+        # futurized per-entry output pool, keyed by (kind, chunk slot):
+        # _replay_futurized fully accumulates each dispatched chunk
+        # before issuing the next, so slot j's buffers are free again by
+        # the time the next chunk's entry j starts computing
+        self._out_pool: dict[tuple[str, int], tuple[np.ndarray, ...]] = {}
 
     # -- constructors -----------------------------------------------------
 
@@ -339,7 +362,8 @@ class FmmSolver:
                 need = a.size * 5 * 8  # dR (n,3) + inv + inv3, float64
                 if used + need <= self._STAGE_BUDGET_BYTES:
                     dR = la.com[a] - lb.com[b]
-                    r2 = np.einsum("ni,ni->n", dR, dR)
+                    x, y, z = dR[:, 0], dR[:, 1], dR[:, 2]
+                    r2 = x * x + y * y + z * z
                     inv = 1.0 / np.sqrt(r2)
                     inv3 = inv / r2
                     staged = (dR, inv, inv3)
@@ -358,46 +382,69 @@ class FmmSolver:
     _TILE = 16384
 
     @staticmethod
-    def _run_tiled(kernel, n: int, tile_args):
+    def _run_tiled(kernel, n: int, tile_args, make_out):
         """Run an elementwise pair ``kernel`` in :attr:`_TILE`-sized
         sub-batches; ``tile_args(sl)`` gathers one tile's inputs.
 
         Gathering *per tile* (rather than the whole batch up front)
         keeps each gathered tile cache-resident through the kernel
-        call instead of writing tens of MB of gathered input only to
-        re-read it.
+        call.  Every tile writes its results straight into slices of
+        the preallocated batch outputs ``make_out(n)`` via the kernels'
+        ``out=`` parameter — no per-tile result lists, no concatenate.
         """
         tile = FmmSolver._TILE
-        if n == 0:
-            return kernel(*tile_args(slice(0, 0)))
-        parts: list[list] | None = None
+        outs = make_out(n)
         for lo in range(0, n, tile):
-            out = kernel(*tile_args(slice(lo, lo + tile)))
-            if parts is None:
-                parts = [[p] for p in out]
-            else:
-                for dst, p in zip(parts, out):
-                    dst.append(p)
-        return tuple(p[0] if len(p) == 1 else np.concatenate(p)
-                     for p in parts)
+            sl = slice(lo, min(lo + tile, n))
+            kernel(*tile_args(sl), out=tuple(o[sl] for o in outs))
+        return outs
 
-    def _compute_entry(self, i: int):
+    def _pool_out(self, kind: str, slot: int, n: int
+                  ) -> tuple[np.ndarray, ...]:
+        """Capacity-grown per-entry output buffers for chunk slot ``slot``.
+
+        The pool is NOT thread-local: slot ``j``'s buffers are written
+        by whichever worker computes a chunk's ``j``-th entry and read
+        by the accumulating thread, which finishes the whole chunk
+        before the next one is dispatched — so distinct in-flight
+        entries never share a slot and reuse across chunks is safe.
+        """
+        key = (kind, slot)
+        trailing = ((), (), (3,), (3,)) if kind == "p2p" \
+            else ((), (), (3,), (3,), (3, 3), (3, 3))
+        cur = self._out_pool.get(key)
+        if cur is None or len(cur[0]) < n:
+            cur = tuple(np.empty((n,) + t) for t in trailing)
+            self._out_pool[key] = cur
+        return tuple(o[:n] for o in cur)
+
+    def _compute_entry(self, i: int, slot: int | None = None):
         """Pure compute half of replay-plan entry ``i`` (engine task).
 
         Runs the pair kernel tiled with per-tile gathers (see
         :attr:`_TILE` and :meth:`_run_tiled`).  No accumulation happens
         here, so entries are safe to compute concurrently and in any
-        order.
+        order.  Outputs come from the slot-indexed pool (``slot`` is the
+        entry's position within its dispatched chunk — see
+        :meth:`_pool_out`), or are freshly allocated when no slot is
+        given; the calling thread is still accumulating earlier entries
+        while workers compute later ones, so the serial path's single
+        set of workspace output buffers must not be shared here.
         """
         kind, la, a, lb, b = self._plan[i]
         if kind == "m2l":
+            make_out = _fresh_m2l_out if slot is None \
+                else (lambda n: self._pool_out("m2l", slot, n))
+
             def tile_args(sl):
                 at, bt = a[sl], b[sl]
                 return (la.com[at] - lb.com[bt],
                         np.maximum(la.m[at], _TINY),
                         np.maximum(lb.m[bt], _TINY),
                         la.M2[at], lb.M2[bt])
-            return self._run_tiled(m2l_pair, len(a), tile_args)
+            return self._run_tiled(m2l_pair, len(a), tile_args, make_out)
+        make_out = _fresh_p2p_out if slot is None \
+            else (lambda n: self._pool_out("p2p", slot, n))
         staged = self._stage[i]
         if staged is None:
             def tile_args(sl):
@@ -405,14 +452,16 @@ class FmmSolver:
                 return (la.com[at] - lb.com[bt],
                         np.maximum(la.m[at], _TINY),
                         np.maximum(lb.m[bt], _TINY))
-            return self._run_tiled(p2p_pair, len(a), tile_args)
+            return self._run_tiled(p2p_pair, len(a), tile_args,
+                                   make_out)
         dR, inv, inv3 = staged
 
         def tile_args(sl):
             return (dR[sl], inv[sl], inv3[sl],
                     np.maximum(la.m[a[sl]], _TINY),
                     np.maximum(lb.m[b[sl]], _TINY))
-        return self._run_tiled(p2p_pair_staged, len(a), tile_args)
+        return self._run_tiled(p2p_pair_staged, len(a), tile_args,
+                               make_out)
 
     def _replay_futurized(self, engine) -> None:
         """Dispatch the pair script through an execution engine.
@@ -441,7 +490,7 @@ class FmmSolver:
         for lo in range(0, n, chunk):
             hi = min(n, lo + chunk)
             futs = engine.map(self._compute_entry,
-                              [(i,) for i in range(lo, hi)])
+                              [(i, j) for j, i in enumerate(range(lo, hi))])
             for j, i in enumerate(range(lo, hi)):
                 kind, la, a, lb, b = self._plan[i]
                 out = futs[j].get()
@@ -536,18 +585,58 @@ class FmmSolver:
             rest = ~both_leaf
             a, b = a[rest], b[rest]
         if self._recording:
+            self._validate_pairs(la, a, lb, b)
             self._pair_script.append(("m2l", la.level, a, lb.level, b))
         default_registry().increment("/fmm/interactions/multipole", len(a))
         self._m2l_kernel(la, a, lb, b)
 
+    @staticmethod
+    def _validate_pairs(la: FmmLevel, a: np.ndarray,
+                        lb: FmmLevel, b: np.ndarray) -> None:
+        """Plan-build-time separation guard, hoisted out of the kernels.
+
+        Distinct cells always have distinct geometric centres (and the
+        COMs the kernels divide by lie strictly inside their cells), so
+        a zero geometric separation means the pair lists are broken —
+        e.g. a cell paired with itself.  Checking once per recorded
+        batch replaces the old per-call ``r2 == 0`` scan inside
+        ``greens`` on every solve.
+        """
+        cA = (la.coords[a] + 0.5) * la.width
+        cB = (lb.coords[b] + 0.5) * lb.width
+        d = cA - cB
+        if np.any(np.einsum("ni,ni->n", d, d) == 0.0):
+            raise ValueError("coincident cells in interaction kernel")
+
+    def _gather_pairs(self, la: FmmLevel, a: np.ndarray,
+                      lb: FmmLevel, b: np.ndarray, tag: str
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Gather (dR, mA, mB) of one pair batch into workspace buffers."""
+        ws = self._ws
+        n = len(a)
+        cA = np.take(la.com, a, axis=0, out=ws.take(tag + ":cA", n, (3,)))
+        cB = np.take(lb.com, b, axis=0, out=ws.take(tag + ":cB", n, (3,)))
+        dR = np.subtract(cA, cB, out=cA)
+        mA = np.take(la.m, a, out=ws.take(tag + ":mA", n))
+        np.maximum(mA, _TINY, out=mA)
+        mB = np.take(lb.m, b, out=ws.take(tag + ":mB", n))
+        np.maximum(mB, _TINY, out=mB)
+        return dR, mA, mB
+
     def _m2l_compute(self, la: FmmLevel, a: np.ndarray,
                      lb: FmmLevel, b: np.ndarray):
-        """Pure compute half of M2L: gather + pair kernel, no accumulation
-        (safe to run concurrently with other batches of the same solve)."""
-        dR = la.com[a] - lb.com[b]
-        mA = np.maximum(la.m[a], _TINY)
-        mB = np.maximum(lb.m[b], _TINY)
-        return m2l_pair(dR, mA, mB, la.M2[a], lb.M2[b])
+        """Serial compute half of M2L: workspace gathers + fused pair
+        kernel writing into reused workspace outputs.  Safe because the
+        caller accumulates the batch before the next compute begins."""
+        ws = self._ws
+        n = len(a)
+        dR, mA, mB = self._gather_pairs(la, a, lb, b, "m2l")
+        M2A = np.take(la.M2, a, axis=0, out=ws.take("m2l:M2A", n, (3, 3)))
+        M2B = np.take(lb.M2, b, axis=0, out=ws.take("m2l:M2B", n, (3, 3)))
+        out = (ws.take("m2l:phiA", n), ws.take("m2l:phiB", n),
+               ws.take("m2l:accA", n, (3,)), ws.take("m2l:accB", n, (3,)),
+               ws.take("m2l:HA", n, (3, 3)), ws.take("m2l:HB", n, (3, 3)))
+        return m2l_pair(dR, mA, mB, M2A, M2B, out=out)
 
     def _m2l_kernel(self, la: FmmLevel, a: np.ndarray,
                     lb: FmmLevel, b: np.ndarray) -> None:
@@ -558,17 +647,20 @@ class FmmSolver:
     def _apply_p2p(self, la: FmmLevel, a: np.ndarray,
                    lb: FmmLevel, b: np.ndarray) -> None:
         if self._recording:
+            self._validate_pairs(la, a, lb, b)
             self._pair_script.append(("p2p", la.level, a, lb.level, b))
         default_registry().increment("/fmm/interactions/monopole", len(a))
         self._p2p_kernel(la, a, lb, b)
 
     def _p2p_compute(self, la: FmmLevel, a: np.ndarray,
                      lb: FmmLevel, b: np.ndarray):
-        """Pure compute half of P2P (see :meth:`_m2l_compute`)."""
-        dR = la.com[a] - lb.com[b]
-        mA = np.maximum(la.m[a], _TINY)
-        mB = np.maximum(lb.m[b], _TINY)
-        return p2p_pair(dR, mA, mB)
+        """Serial compute half of P2P (see :meth:`_m2l_compute`)."""
+        ws = self._ws
+        n = len(a)
+        dR, mA, mB = self._gather_pairs(la, a, lb, b, "p2p")
+        out = (ws.take("p2p:phiA", n), ws.take("p2p:phiB", n),
+               ws.take("p2p:accA", n, (3,)), ws.take("p2p:accB", n, (3,)))
+        return p2p_pair(dR, mA, mB, out=out)
 
     def _p2p_kernel(self, la: FmmLevel, a: np.ndarray,
                     lb: FmmLevel, b: np.ndarray) -> None:

@@ -23,6 +23,23 @@ conservation claims of Sec. 4.2/4.3 structural rather than accidental:
 
 All kernels are vectorized over pair arrays (struct-of-arrays layout, as
 the paper's Sec. 4.3 kernels are).
+
+Fused component form (the Sec. 4.3 kernel rework): ``g2`` has 6 and
+``g3`` 10 unique components, but the original einsum formulation
+materialized the full (n, 3, 3) and (n, 3, 3, 3) tensors — 27 doubles
+per pair for ``g3`` alone — plus einsum contraction temporaries.  The
+production kernels (:func:`m2l_pair`, :func:`p2p_pair`,
+:func:`pair_torque`) now expand the contractions into explicit
+arithmetic over only the unique components, and every pair kernel takes
+``out=`` so the solver's tiled replay writes results straight into
+preallocated batch outputs.  :func:`m2l_pair_reference` keeps the tensor
+formulation as the property-test oracle and microbenchmark baseline.
+
+Hot-path kernels do **not** guard against coincident points: the solver
+validates pair separations geometrically once, at plan-record time
+(:meth:`repro.core.gravity.fmm.FmmSolver` — distinct cells always have
+distinct geometric centres), instead of scanning ``r2 == 0`` on every
+call.  The test-facing :func:`greens` keeps its guard.
 """
 
 from __future__ import annotations
@@ -30,7 +47,7 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = ["greens", "p2p_pair", "p2p_pair_staged", "m2l_pair",
-           "pair_torque", "LEVI_CIVITA"]
+           "m2l_pair_reference", "pair_torque", "LEVI_CIVITA"]
 
 #: Levi-Civita tensor for torque contractions
 LEVI_CIVITA = np.zeros((3, 3, 3))
@@ -41,15 +58,42 @@ for _i, _j, _k, _s in ((0, 1, 2, 1), (1, 2, 0, 1), (2, 0, 1, 1),
 _EYE = np.eye(3)
 
 
+def _inv_powers(x, y, z):
+    """(inv, inv2, inv3, inv5, inv7) = odd inverse powers of r."""
+    r2 = x * x + y * y + z * z
+    inv = 1.0 / np.sqrt(r2)
+    inv2 = inv * inv
+    inv3 = inv * inv2
+    inv5 = inv3 * inv2
+    inv7 = inv5 * inv2
+    return inv, inv2, inv3, inv5, inv7
+
+
+def _g2_components(x, y, z, inv3, inv5):
+    """The 6 unique components of g2_ij = 3 x_i x_j / r^5 - delta_ij / r^3
+    (xx, yy, zz, xy, xz, yz)."""
+    return (3.0 * (x * x) * inv5 - inv3,
+            3.0 * (y * y) * inv5 - inv3,
+            3.0 * (z * z) * inv5 - inv3,
+            3.0 * (x * y) * inv5,
+            3.0 * (x * z) * inv5,
+            3.0 * (y * z) * inv5)
+
+
 def greens(dR: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray,
                                     np.ndarray]:
     """Derivative tensors g0..g3 of 1/r at separations ``dR`` (n, 3).
 
     g0 = 1/r, g1_i = d_i(1/r), g2_ij = d_i d_j (1/r),
     g3_ijk = d_i d_j d_k (1/r).
+
+    Built from the 6 unique g2 / 10 unique g3 components (no full outer
+    products); the assembled tensors are exactly symmetric because the
+    unique components are written to every symmetric slot.
     """
     dR = np.asarray(dR, dtype=np.float64)
-    r2 = np.einsum("ni,ni->n", dR, dR)
+    x, y, z = dR[:, 0], dR[:, 1], dR[:, 2]
+    r2 = x * x + y * y + z * z
     if np.any(r2 == 0.0):
         raise ValueError("coincident cells in interaction kernel")
     inv = 1.0 / np.sqrt(r2)
@@ -59,40 +103,72 @@ def greens(dR: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray,
     inv7 = inv5 * inv2
     g0 = inv
     g1 = -dR * inv3[:, None]
-    outer = np.einsum("ni,nj->nij", dR, dR)
-    g2 = 3.0 * outer * inv5[:, None, None] - _EYE[None] * inv3[:, None, None]
-    trip = np.einsum("ni,nj,nk->nijk", dR, dR, dR)
-    sym = (np.einsum("ij,nk->nijk", _EYE, dR)
-           + np.einsum("ik,nj->nijk", _EYE, dR)
-           + np.einsum("jk,ni->nijk", _EYE, dR))
-    g3 = -15.0 * trip * inv7[:, None, None, None] \
-        + 3.0 * sym * inv5[:, None, None, None]
+    n = len(dR)
+    g2 = np.empty((n, 3, 3))
+    xx, yy, zz, xy, xz, yz = _g2_components(x, y, z, inv3, inv5)
+    g2[:, 0, 0] = xx
+    g2[:, 1, 1] = yy
+    g2[:, 2, 2] = zz
+    g2[:, 0, 1] = g2[:, 1, 0] = xy
+    g2[:, 0, 2] = g2[:, 2, 0] = xz
+    g2[:, 1, 2] = g2[:, 2, 1] = yz
+    # g3_ijk = -15 x_i x_j x_k / r^7 + 3 (d_ij x_k + d_ik x_j + d_jk x_i)/r^5
+    p3 = 3.0 * inv5
+    p9 = 9.0 * inv5
+    p15 = 15.0 * inv7
+    g3 = np.empty((n, 3, 3, 3))
+    comps = _g3_components(x, y, z, p3, p9, p15)
+    for (i, j, k), val in comps:
+        g3[:, i, j, k] = g3[:, i, k, j] = g3[:, j, i, k] = val
+        g3[:, j, k, i] = g3[:, k, i, j] = g3[:, k, j, i] = val
     return g0, g1, g2, g3
 
 
-def p2p_pair(dR: np.ndarray, mA: np.ndarray, mB: np.ndarray
+def _g3_components(x, y, z, p3, p9, p15):
+    """The 10 unique components of g3, tagged with one index triple each."""
+    return (((0, 0, 0), p9 * x - p15 * (x * x) * x),
+            ((0, 0, 1), p3 * y - p15 * (x * x) * y),
+            ((0, 0, 2), p3 * z - p15 * (x * x) * z),
+            ((0, 1, 1), p3 * x - p15 * x * (y * y)),
+            ((0, 1, 2), -p15 * (x * y) * z),
+            ((0, 2, 2), p3 * x - p15 * x * (z * z)),
+            ((1, 1, 1), p9 * y - p15 * (y * y) * y),
+            ((1, 1, 2), p3 * z - p15 * (y * y) * z),
+            ((1, 2, 2), p3 * y - p15 * y * (z * z)),
+            ((2, 2, 2), p9 * z - p15 * (z * z) * z))
+
+
+def p2p_pair(dR: np.ndarray, mA: np.ndarray, mB: np.ndarray, out=None
              ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Monopole-monopole (leaf P2P) interaction, 12-flop class (Sec. 4.3).
 
     Returns ``(phiA, phiB, accA, accB)``: potentials and accelerations.
     ``accB`` is derived from the same force vector as ``accA`` so the pair
-    momentum change is exactly zero.
+    momentum change is exactly zero.  ``out`` (same four arrays) lets the
+    tiled replay write results in place.
     """
     dR = np.asarray(dR, dtype=np.float64)
-    r2 = np.einsum("ni,ni->n", dR, dR)
+    x, y, z = dR[:, 0], dR[:, 1], dR[:, 2]
+    r2 = x * x + y * y + z * z
     inv = 1.0 / np.sqrt(r2)
     inv3 = inv / r2
-    phiA = -mB * inv
-    phiB = -mA * inv
+    if out is None:
+        n = len(dR)
+        out = (np.empty(n), np.empty(n), np.empty((n, 3)),
+               np.empty((n, 3)))
+    phiA, phiB, accA, accB = out
+    phiA[...] = -mB * inv
+    phiB[...] = -mA * inv
     # force on A = -mA mB dR / r^3 ; accA = F/mA, accB = -F/mB
     f = -(mA * mB * inv3)[:, None] * dR
-    accA = f / mA[:, None]
-    accB = -f / mB[:, None]
+    np.divide(f, mA[:, None], out=accA)
+    np.divide(f, mB[:, None], out=accB)
+    np.negative(accB, out=accB)
     return phiA, phiB, accA, accB
 
 
 def p2p_pair_staged(dR: np.ndarray, inv: np.ndarray, inv3: np.ndarray,
-                    mA: np.ndarray, mB: np.ndarray
+                    mA: np.ndarray, mB: np.ndarray, out=None
                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
                                np.ndarray]:
     """P2P with pre-staged Green-function factors (work aggregation).
@@ -107,18 +183,24 @@ def p2p_pair_staged(dR: np.ndarray, inv: np.ndarray, inv3: np.ndarray,
     Bit-identical to :func:`p2p_pair` given matching staged factors: the
     remaining expressions are the same operations in the same order.
     """
-    phiA = -mB * inv
-    phiB = -mA * inv
+    if out is None:
+        n = len(dR)
+        out = (np.empty(n), np.empty(n), np.empty((n, 3)),
+               np.empty((n, 3)))
+    phiA, phiB, accA, accB = out
+    phiA[...] = -mB * inv
+    phiB[...] = -mA * inv
     f = -(mA * mB * inv3)[:, None] * dR
-    accA = f / mA[:, None]
-    accB = -f / mB[:, None]
+    np.divide(f, mA[:, None], out=accA)
+    np.divide(f, mB[:, None], out=accB)
+    np.negative(accB, out=accB)
     return phiA, phiB, accA, accB
 
 
 def m2l_pair(dR: np.ndarray, mA: np.ndarray, mB: np.ndarray,
-             M2A: np.ndarray, M2B: np.ndarray
+             M2A: np.ndarray, M2B: np.ndarray, out=None
              ) -> tuple[np.ndarray, ...]:
-    """Multipole pair interaction, 455-flop class (Sec. 4.3).
+    """Multipole pair interaction, 455-flop class (Sec. 4.3), fused.
 
     Parameters are pair SoA arrays: separations ``dR = xA - xB`` (n, 3),
     masses (n,), raw second moments (n, 3, 3).
@@ -131,11 +213,102 @@ def m2l_pair(dR: np.ndarray, mA: np.ndarray, mB: np.ndarray,
       coupling to the field gradient, so ``mA accA == -mB accB`` exactly,
     * ``H``: Hessian of the potential (for the L2L shift and the tidal
       realization of quadrupole torques on child cells).
+
+    Every contraction is expanded over the 6 unique ``g2`` and 10 unique
+    ``g3`` components; no (n, 3, 3[, 3]) Green tensors are materialized.
+    Agrees with :func:`m2l_pair_reference` to the last few ulps (the
+    einsum contraction sums in a different order; the property tests
+    document the tolerance).
+    """
+    dR = np.asarray(dR, dtype=np.float64)
+    x, y, z = dR[:, 0], dR[:, 1], dR[:, 2]
+    inv, inv2, inv3, inv5, inv7 = _inv_powers(x, y, z)
+    g2xx, g2yy, g2zz, g2xy, g2xz, g2yz = _g2_components(x, y, z, inv3, inv5)
+    p3 = 3.0 * inv5
+    p9 = 9.0 * inv5
+    p15 = 15.0 * inv7
+    g3xxx = p9 * x - p15 * (x * x) * x
+    g3xxy = p3 * y - p15 * (x * x) * y
+    g3xxz = p3 * z - p15 * (x * x) * z
+    g3xyy = p3 * x - p15 * x * (y * y)
+    g3xyz = -p15 * (x * y) * z
+    g3xzz = p3 * x - p15 * x * (z * z)
+    g3yyy = p9 * y - p15 * (y * y) * y
+    g3yyz = p3 * z - p15 * (y * y) * z
+    g3yzz = p3 * y - p15 * y * (z * z)
+    g3zzz = p9 * z - p15 * (z * z) * z
+    # symmetric quadrupole of the pair: quad = mA M2B + mB M2A (6 comps)
+    qxx = mA * M2B[:, 0, 0] + mB * M2A[:, 0, 0]
+    qyy = mA * M2B[:, 1, 1] + mB * M2A[:, 1, 1]
+    qzz = mA * M2B[:, 2, 2] + mB * M2A[:, 2, 2]
+    qxy = mA * M2B[:, 0, 1] + mB * M2A[:, 0, 1]
+    qxz = mA * M2B[:, 0, 2] + mB * M2A[:, 0, 2]
+    qyz = mA * M2B[:, 1, 2] + mB * M2A[:, 1, 2]
+    if out is None:
+        n = len(dR)
+        out = (np.empty(n), np.empty(n), np.empty((n, 3)),
+               np.empty((n, 3)), np.empty((n, 3, 3)), np.empty((n, 3, 3)))
+    phiA, phiB, accA, accB, HA, HB = out
+    # mutual energy U = -(mA mB g0 + 0.5 quad : g2)
+    # pair force on A: F_i = mA mB g1_i + 0.5 quad_jk g3_ijk
+    mm = mA * mB
+    fx = -mm * x * inv3 + 0.5 * (
+        qxx * g3xxx + qyy * g3xyy + qzz * g3xzz
+        + 2.0 * (qxy * g3xxy + qxz * g3xxz + qyz * g3xyz))
+    fy = -mm * y * inv3 + 0.5 * (
+        qxx * g3xxy + qyy * g3yyy + qzz * g3yzz
+        + 2.0 * (qxy * g3xyy + qxz * g3xyz + qyz * g3yyz))
+    fz = -mm * z * inv3 + 0.5 * (
+        qxx * g3xxz + qyy * g3yyz + qzz * g3zzz
+        + 2.0 * (qxy * g3xyz + qxz * g3xzz + qyz * g3yzz))
+    np.divide(fx, mA, out=accA[:, 0])
+    np.divide(fy, mA, out=accA[:, 1])
+    np.divide(fz, mA, out=accA[:, 2])
+    np.divide(fx, mB, out=accB[:, 0])
+    np.divide(fy, mB, out=accB[:, 1])
+    np.divide(fz, mB, out=accB[:, 2])
+    np.negative(accB, out=accB)
+    # phi_target = -(m_source g0 + 0.5 M2_source : g2)
+    phiA[...] = -(mB * inv + 0.5 * _sym_contract(M2B, g2xx, g2yy, g2zz,
+                                                 g2xy, g2xz, g2yz))
+    phiB[...] = -(mA * inv + 0.5 * _sym_contract(M2A, g2xx, g2yy, g2zz,
+                                                 g2xy, g2xz, g2yz))
+    _hessian(HA, -mB, g2xx, g2yy, g2zz, g2xy, g2xz, g2yz)
+    _hessian(HB, -mA, g2xx, g2yy, g2zz, g2xy, g2xz, g2yz)
+    return phiA, phiB, accA, accB, HA, HB
+
+
+def _sym_contract(M2, g2xx, g2yy, g2zz, g2xy, g2xz, g2yz):
+    """M2 : g2 for symmetric M2, over the 6 unique g2 components."""
+    return (M2[:, 0, 0] * g2xx + M2[:, 1, 1] * g2yy + M2[:, 2, 2] * g2zz
+            + 2.0 * (M2[:, 0, 1] * g2xy + M2[:, 0, 2] * g2xz
+                     + M2[:, 1, 2] * g2yz))
+
+
+def _hessian(H, scale, g2xx, g2yy, g2zz, g2xy, g2xz, g2yz):
+    """H_ij = scale * g2_ij assembled from the unique components."""
+    np.multiply(scale, g2xx, out=H[:, 0, 0])
+    np.multiply(scale, g2yy, out=H[:, 1, 1])
+    np.multiply(scale, g2zz, out=H[:, 2, 2])
+    np.multiply(scale, g2xy, out=H[:, 0, 1])
+    np.multiply(scale, g2xz, out=H[:, 0, 2])
+    np.multiply(scale, g2yz, out=H[:, 1, 2])
+    H[:, 1, 0] = H[:, 0, 1]
+    H[:, 2, 0] = H[:, 0, 2]
+    H[:, 2, 1] = H[:, 1, 2]
+
+
+def m2l_pair_reference(dR: np.ndarray, mA: np.ndarray, mB: np.ndarray,
+                       M2A: np.ndarray, M2B: np.ndarray
+                       ) -> tuple[np.ndarray, ...]:
+    """The M2L interaction via full Green tensors and einsum contractions.
+
+    The original formulation, kept as the property-test oracle and the
+    baseline side of the ``kernels_micro`` benchmark; see
+    :func:`m2l_pair` for the production kernel.
     """
     g0, g1, g2, g3 = greens(dR)
     quad = mA[:, None, None] * M2B + mB[:, None, None] * M2A
-    # mutual energy U = -(mA mB g0 + 0.5 quad : g2)
-    # pair force on A: F = -dU/dR = mA mB g1 + 0.5 quad : g3
     force = (mA * mB)[:, None] * g1 \
         + 0.5 * np.einsum("njk,nijk->ni", quad, g3)
     accA = force / mA[:, None]
@@ -154,8 +327,31 @@ def pair_torque(dR: np.ndarray, mA: np.ndarray, mB: np.ndarray,
 
     tau_A_l = mB eps_{jlm} M2A_{mk} g2_{jk}; used by the conservation
     tests to verify the Noether identity R x F + tau_A + tau_B = 0.
+    Expanded over the unique g2 components: with A_{jm} = M2_{mk} g2_{jk},
+    tau = (A_21 - A_12, A_02 - A_20, A_10 - A_01).
     """
-    _g0, _g1, g2, _g3 = greens(dR)
-    tauA = mB[:, None] * np.einsum("jlm,nmk,njk->nl", LEVI_CIVITA, M2A, g2)
-    tauB = mA[:, None] * np.einsum("jlm,nmk,njk->nl", LEVI_CIVITA, M2B, g2)
-    return tauA, tauB
+    dR = np.asarray(dR, dtype=np.float64)
+    x, y, z = dR[:, 0], dR[:, 1], dR[:, 2]
+    r2 = x * x + y * y + z * z
+    if np.any(r2 == 0.0):
+        raise ValueError("coincident cells in interaction kernel")
+    inv = 1.0 / np.sqrt(r2)
+    inv2 = inv * inv
+    inv3 = inv * inv2
+    inv5 = inv3 * inv2
+    g2xx, g2yy, g2zz, g2xy, g2xz, g2yz = _g2_components(x, y, z, inv3, inv5)
+
+    def tau(m_other, M2):
+        a01 = M2[:, 1, 0] * g2xx + M2[:, 1, 1] * g2xy + M2[:, 1, 2] * g2xz
+        a02 = M2[:, 2, 0] * g2xx + M2[:, 2, 1] * g2xy + M2[:, 2, 2] * g2xz
+        a10 = M2[:, 0, 0] * g2xy + M2[:, 0, 1] * g2yy + M2[:, 0, 2] * g2yz
+        a12 = M2[:, 2, 0] * g2xy + M2[:, 2, 1] * g2yy + M2[:, 2, 2] * g2yz
+        a20 = M2[:, 0, 0] * g2xz + M2[:, 0, 1] * g2yz + M2[:, 0, 2] * g2zz
+        a21 = M2[:, 1, 0] * g2xz + M2[:, 1, 1] * g2yz + M2[:, 1, 2] * g2zz
+        t = np.empty((len(x), 3))
+        t[:, 0] = m_other * (a21 - a12)
+        t[:, 1] = m_other * (a02 - a20)
+        t[:, 2] = m_other * (a10 - a01)
+        return t
+
+    return tau(mB, M2A), tau(mA, M2B)

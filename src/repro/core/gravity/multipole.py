@@ -58,13 +58,16 @@ def aggregate_m2m(child_m: np.ndarray, child_com: np.ndarray,
                                minlength=n_parents) / np.maximum(counts, 1.0)
             com[empty, d] = mean[empty]
     d_vec = child_com - com[groups]
-    M2 = np.zeros((n_parents, 3, 3))
-    contrib = child_M2 + child_m[:, None, None] * np.einsum(
-        "ni,nj->nij", d_vec, d_vec)
+    # parallel-axis contribution per unique component (M2 is symmetric):
+    # no (n, 3, 3) outer-product temporary, mirror the upper triangle
+    M2 = np.empty((n_parents, 3, 3))
     for i in range(3):
-        for j in range(3):
-            M2[:, i, j] = np.bincount(groups, weights=contrib[:, i, j],
+        for j in range(i, 3):
+            w = child_M2[:, i, j] + child_m * (d_vec[:, i] * d_vec[:, j])
+            M2[:, i, j] = np.bincount(groups, weights=w,
                                       minlength=n_parents)
+            if i != j:
+                M2[:, j, i] = M2[:, i, j]
     return m, com, M2
 
 
@@ -80,8 +83,13 @@ def taylor_shift(phi: np.ndarray, acc: np.ndarray, hess: np.ndarray,
     the third FMM step ("the respective Taylor series expansion of the
     parent node is passed to the child nodes and accumulated", Sec. 4.3).
     """
-    Hd = np.einsum("nij,nj->ni", hess, d)
-    phi_out = phi - np.einsum("ni,ni->n", acc, d) \
-        + 0.5 * np.einsum("ni,ni->n", d, Hd)
+    d0, d1, d2 = d[:, 0], d[:, 1], d[:, 2]
+    Hd = np.empty_like(acc)
+    Hd[:, 0] = hess[:, 0, 0] * d0 + hess[:, 0, 1] * d1 + hess[:, 0, 2] * d2
+    Hd[:, 1] = hess[:, 1, 0] * d0 + hess[:, 1, 1] * d1 + hess[:, 1, 2] * d2
+    Hd[:, 2] = hess[:, 2, 0] * d0 + hess[:, 2, 1] * d1 + hess[:, 2, 2] * d2
+    a_dot_d = acc[:, 0] * d0 + acc[:, 1] * d1 + acc[:, 2] * d2
+    d_H_d = d0 * Hd[:, 0] + d1 * Hd[:, 1] + d2 * Hd[:, 2]
+    phi_out = phi - a_dot_d + 0.5 * d_H_d
     acc_out = acc - Hd
     return phi_out, acc_out, hess.copy()

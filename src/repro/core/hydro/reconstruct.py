@@ -10,6 +10,15 @@ Conventions: input arrays have ``ng`` ghost layers on each side along the
 reconstruction axis; output face arrays cover the ``n + 1`` interior faces
 (face ``f`` sits between interior cells ``f-1`` and ``f``), with ``qL``
 the state just left of the face and ``qR`` just right.
+
+Both kernels take ``out=(qL, qR)`` so a caller-owned buffer pair absorbs
+the per-stage face-state churn, and ``ws=`` (a
+:class:`repro.core.workspace.Workspace`) for the fully fused path: every
+intermediate lives in reused scratch, nothing is allocated, and the
+returned face arrays are views into workspace buffers (valid until the
+next reconstruction of the same shape along the same axis).  The values
+written are bitwise identical to the allocating path — only buffer
+reuse and ``out=`` routing change, never the arithmetic expressions.
 """
 
 from __future__ import annotations
@@ -25,32 +34,51 @@ def _ax(q: np.ndarray, lo: int, hi: int | None, axis: int) -> np.ndarray:
     return q[tuple(sl)]
 
 
-def minmod_faces(q: np.ndarray, ng: int, axis: int
-                 ) -> tuple[np.ndarray, np.ndarray]:
+def minmod_faces(q: np.ndarray, ng: int, axis: int,
+                 out: tuple[np.ndarray, np.ndarray] | None = None,
+                 ws=None) -> tuple[np.ndarray, np.ndarray]:
     """Second-order MUSCL states (qL, qR) at the n+1 interior faces."""
     n = q.shape[axis] - 2 * ng
+    if out is None and ws is not None:
+        fshape = list(q.shape)
+        fshape[axis] = n + 1
+        out = (ws.buf(f"mm:L{axis}", tuple(fshape)),
+               ws.buf(f"mm:R{axis}", tuple(fshape)))
     qm = _ax(q, ng - 2, ng + n + 2, axis)           # cells -2 .. n+1
     d_lo = _ax(qm, 1, -1, axis) - _ax(qm, 0, -2, axis)
     d_hi = _ax(qm, 2, None, axis) - _ax(qm, 1, -1, axis)
     slope = np.where(d_lo * d_hi > 0.0,
                      np.where(np.abs(d_lo) < np.abs(d_hi), d_lo, d_hi), 0.0)
     center = _ax(qm, 1, -1, axis)                   # cells -1 .. n
-    plus = center + 0.5 * slope
-    minus = center - 0.5 * slope
-    qL = _ax(plus, 0, -1, axis)                     # cells -1 .. n-1
-    qR = _ax(minus, 1, None, axis)                  # cells  0 .. n
+    if out is None:
+        plus = center + 0.5 * slope
+        minus = center - 0.5 * slope
+        return _ax(plus, 0, -1, axis), _ax(minus, 1, None, axis)
+    # same arithmetic, sliced first and written straight into the caller's
+    # face buffers (0.5*slope then +/- center is elementwise, so slicing
+    # before or after the combine yields the same bits)
+    qL, qR = out
+    np.multiply(_ax(slope, 0, -1, axis), 0.5, out=qL)
+    np.add(qL, _ax(center, 0, -1, axis), out=qL)
+    np.multiply(_ax(slope, 1, None, axis), 0.5, out=qR)
+    np.subtract(_ax(center, 1, None, axis), qR, out=qR)
     return qL, qR
 
 
-def ppm_faces(q: np.ndarray, ng: int, axis: int
-              ) -> tuple[np.ndarray, np.ndarray]:
+def ppm_faces(q: np.ndarray, ng: int, axis: int,
+              out: tuple[np.ndarray, np.ndarray] | None = None,
+              ws=None) -> tuple[np.ndarray, np.ndarray]:
     """PPM states (qL, qR) at the n+1 interior faces.
 
     Fourth-order face interpolation followed by the Colella-Woodward
-    monotonization of each cell's parabola.
+    monotonization of each cell's parabola.  With ``ws`` the whole
+    kernel runs in reused scratch with in-place ufuncs (the fused hot
+    path); the returned faces are then views into workspace buffers.
     """
     if ng < 3:
         raise ValueError("PPM needs at least 3 ghost layers")
+    if ws is not None:
+        return _ppm_faces_ws(q, ng, axis, out, ws)
     n = q.shape[axis] - 2 * ng
     # C holds cells -3 .. n+2 (length n+6) along `axis`
     C = _ax(q, ng - 3, ng + n + 3, axis)
@@ -77,6 +105,110 @@ def ppm_faces(q: np.ndarray, ng: int, axis: int
     steep_lo = -six > dqf * (c - avg)
     hi = np.where(steep_lo, 3.0 * c - 2.0 * lo, hi)
 
-    qL = _ax(hi, 0, -1, axis)                       # cells -1 .. n-1
-    qR = _ax(lo, 1, None, axis)                     # cells  0 .. n
+    if out is None:
+        return _ax(hi, 0, -1, axis), _ax(lo, 1, None, axis)
+    qL, qR = out
+    np.copyto(qL, _ax(hi, 0, -1, axis))             # cells -1 .. n-1
+    np.copyto(qR, _ax(lo, 1, None, axis))           # cells  0 .. n
     return qL, qR
+
+
+def _ppm_faces_ws(q: np.ndarray, ng: int, axis: int,
+                  out: tuple[np.ndarray, np.ndarray] | None,
+                  ws) -> tuple[np.ndarray, np.ndarray]:
+    """Workspace-fused PPM: identical arithmetic, zero allocations.
+
+    Every step mirrors an expression of :func:`ppm_faces` exactly —
+    scalar multiplies are commuted (exact), ``np.where`` becomes a
+    masked ``np.copyto`` onto the same "else" values, and ``np.clip``
+    runs with ``out=`` — so the results are bitwise identical.
+
+    Field-major blocks are processed one field at a time: the ~10
+    intermediate arrays then cover a single field and stay resident in
+    cache across the ~30 elementwise passes instead of streaming the
+    whole block from DRAM every pass.  Per-field chunking of elementwise
+    arithmetic is bitwise-neutral.
+    """
+    n = q.shape[axis] - 2 * ng
+    sh2 = list(q.shape)
+    sh2[axis] = n + 2
+    sh2 = tuple(sh2)
+    lo = ws.buf(f"ppm:lo{axis}", sh2)
+    hi = ws.buf(f"ppm:hi{axis}", sh2)
+    if q.ndim == 4 and axis != 0:
+        for f in range(q.shape[0]):                 # per-field chunking
+            _ppm_one_ws(q[f], ng, axis - 1, lo[f], hi[f], ws)
+    else:
+        _ppm_one_ws(q, ng, axis, lo, hi, ws)
+    if out is None:
+        return _ax(hi, 0, -1, axis), _ax(lo, 1, None, axis)
+    qL, qR = out
+    np.copyto(qL, _ax(hi, 0, -1, axis))
+    np.copyto(qR, _ax(lo, 1, None, axis))
+    return qL, qR
+
+
+def _ppm_one_ws(q: np.ndarray, ng: int, axis: int,
+                lo: np.ndarray, hi: np.ndarray, ws) -> None:
+    """One PPM reconstruction into ``lo``/``hi`` using ``ws`` scratch."""
+    n = q.shape[axis] - 2 * ng
+    shF = list(q.shape)
+    shF[axis] = n + 3
+    shF = tuple(shF)
+    sh2 = lo.shape
+
+    C = _ax(q, ng - 3, ng + n + 3, axis)            # view: cells -3 .. n+2
+    F = ws.buf(f"ppm:F{axis}", shF)
+    t = ws.buf(f"ppm:t{axis}", shF)
+    # F = 7/12 (C1 + C2) - 1/12 (C0 + C3)
+    np.add(_ax(C, 1, -2, axis), _ax(C, 2, -1, axis), out=F)
+    F *= 7.0 / 12.0
+    np.add(_ax(C, 0, -3, axis), _ax(C, 3, None, axis), out=t)
+    t *= 1.0 / 12.0
+    F -= t
+
+    c = _ax(C, 2, -2, axis)
+    left = _ax(C, 1, -3, axis)
+    right = _ax(C, 3, -1, axis)
+    a = ws.buf(f"ppm:a{axis}", sh2)
+    b = ws.buf(f"ppm:b{axis}", sh2)
+    mask = ws.buf(f"ppm:mask{axis}", sh2, dtype=bool)
+
+    np.minimum(left, c, out=a)
+    np.maximum(left, c, out=b)
+    np.clip(_ax(F, 0, -1, axis), a, b, out=lo)
+    np.minimum(c, right, out=a)
+    np.maximum(c, right, out=b)
+    np.clip(_ax(F, 1, None, axis), a, b, out=hi)
+
+    # extremum = (hi - c) * (c - lo) <= 0  ->  lo = hi = c there
+    np.subtract(hi, c, out=a)
+    np.subtract(c, lo, out=b)
+    np.multiply(a, b, out=a)
+    np.less_equal(a, 0.0, out=mask)
+    np.copyto(lo, c, where=mask)
+    np.copyto(hi, c, where=mask)
+
+    dqf = ws.buf(f"ppm:dqf{axis}", sh2)
+    np.subtract(hi, lo, out=dqf)
+    # avg = 0.5 * (lo + hi); six = dqf * dqf / 6
+    np.add(lo, hi, out=a)
+    a *= 0.5
+    six = ws.buf(f"ppm:six{axis}", sh2)
+    np.multiply(dqf, dqf, out=six)
+    six /= 6.0
+    # prod = dqf * (c - avg): computed once; the reference evaluates the
+    # same expression twice on unchanged inputs, so reuse is exact
+    np.subtract(c, a, out=a)                        # a = c - avg
+    np.multiply(dqf, a, out=a)                      # a = prod
+    np.greater(a, six, out=mask)                    # steep toward hi
+    np.multiply(hi, 2.0, out=dqf)                   # dqf now scratch
+    np.multiply(c, 3.0, out=b)
+    b -= dqf                                        # 3c - 2 hi
+    np.copyto(lo, b, where=mask)
+    np.negative(six, out=six)
+    np.greater(six, a, out=mask)                    # steep toward lo
+    np.multiply(lo, 2.0, out=dqf)                   # uses the updated lo
+    np.multiply(c, 3.0, out=b)
+    b -= dqf                                        # 3c - 2 lo
+    np.copyto(hi, b, where=mask)

@@ -15,6 +15,16 @@ closed domain — the Sec. 4.2 claim, tested in
 The module is dimension-agnostic: blocks are (NF, m, m, m) arrays with
 ``NGHOST`` ghost layers, of any interior size (one 8^3 sub-grid or a whole
 mesh block).
+
+Scratch and fusion (Sec. 4.3 kernel rework): :func:`compute_rhs`,
+:func:`rk2_step` and :func:`cfl_dt` accept a
+:class:`repro.core.workspace.Workspace` (and ``compute_rhs`` an ``out=``
+array) so steady-state stepping reuses the primitive block, face states
+and flux arrays across stages and steps instead of reallocating ~14
+full-field temporaries per axis per stage.  The fused path is bitwise
+identical to :func:`compute_rhs_reference`, which keeps the original
+allocate-per-stage kernel composition as the test oracle and
+microbenchmark baseline.
 """
 
 from __future__ import annotations
@@ -26,9 +36,11 @@ import numpy as np
 from ..eos import IdealGas
 from ..grid import EGAS, LX, NF, NGHOST, RHO, SX, TAU
 from .reconstruct import minmod_faces, ppm_faces
-from .riemann import conserved_to_primitive, kt_flux
+from .riemann import (conserved_signal_speed, conserved_to_primitive,
+                      kt_flux, kt_flux_reference)
 
-__all__ = ["HydroOptions", "compute_rhs", "cfl_dt", "rk2_step"]
+__all__ = ["HydroOptions", "compute_rhs", "compute_rhs_reference",
+           "cfl_dt", "rk2_step", "apply_floors"]
 
 
 @dataclass
@@ -45,21 +57,30 @@ class HydroOptions:
     #: evolve the Despres-Labourasse spin correction
     spin_correction: bool = True
 
+    def __post_init__(self):
+        # one definition of vacuum for the whole stack: the EOS clamps in
+        # sound_speed/kinetic must agree with the floor applied to the
+        # state, or a cell below the solver floor divides by a smaller
+        # number than the solver ever allows (see eos.IdealGas).
+        self.eos.rho_floor = self.rho_floor
 
-def _faces(q: np.ndarray, axis: int, options: HydroOptions):
+
+def _faces(q: np.ndarray, axis: int, options: HydroOptions, ws=None):
     # spatial axis `axis` is array dimension axis + 1 (dim 0 = field)
+    ax = axis + 1
     if options.reconstruction == "ppm":
-        return ppm_faces(q, NGHOST, axis + 1)
+        return ppm_faces(q, NGHOST, ax, ws=ws)
     if options.reconstruction == "minmod":
-        return minmod_faces(q, NGHOST, axis + 1)
+        return minmod_faces(q, NGHOST, ax, ws=ws)
     raise ValueError(f"unknown reconstruction {options.reconstruction!r}")
 
 
 def compute_rhs(U: np.ndarray, dx: float, options: HydroOptions,
                 origin: tuple[float, float, float] = (0.0, 0.0, 0.0),
                 gravity: np.ndarray | None = None,
-                return_fluxes: bool = False):
-    """dU/dt of the interior of a ghost-filled block.
+                return_fluxes: bool = False,
+                out: np.ndarray | None = None, ws=None):
+    """dU/dt of the interior of a ghost-filled block (fused path).
 
     Parameters
     ----------
@@ -74,24 +95,41 @@ def compute_rhs(U: np.ndarray, dx: float, options: HydroOptions,
         Optional (3, n, n, n) acceleration field on the interior.
     return_fluxes:
         Also return the per-axis face-flux arrays (for AMR refluxing).
+        Flux arrays are then freshly allocated — never workspace views —
+        so the caller may hold them across further solver calls.
+    out:
+        Optional (NF, n, n, n) output; fully overwritten.
+    ws:
+        Optional :class:`repro.core.workspace.Workspace` backing the
+        primitive block, face states and flux scratch.
 
     Returns ``rhs`` with shape (NF, n, n, n) (plus fluxes if requested).
     """
     g = NGHOST
     shape = tuple(U.shape[1 + d] - 2 * g for d in range(3))
     eos = options.eos
-    W = conserved_to_primitive(U, eos, options.rho_floor)
-    rhs = np.zeros((NF,) + shape)
+    W = conserved_to_primitive(U, eos, options.rho_floor, ws=ws)
+    if out is not None:
+        rhs = out
+    elif ws is not None:
+        rhs = ws.buf("rhs:out", (NF,) + shape)
+    else:
+        rhs = np.empty((NF,) + shape)
+    rhs[...] = 0.0
     fluxes = []
 
     for axis in range(3):
-        WL, WR = _faces(W, axis, options)
-        # restrict the transverse extents to the interior
+        # restrict the transverse extents to the interior *before*
+        # reconstructing: PPM is elementwise across transverse columns,
+        # so skipping ghost columns whose faces would be discarded is
+        # bitwise-neutral and trims (n+2g)^2/n^2 of the reconstruction
         sl = [slice(None)] + [slice(g, g + shape[d]) for d in range(3)]
         sl[1 + axis] = slice(None)
-        WL = WL[tuple(sl)]
-        WR = WR[tuple(sl)]
-        F = kt_flux(WL, WR, eos, axis)
+        WL, WR = _faces(W[tuple(sl)], axis, options, ws)
+        if return_fluxes:
+            F = kt_flux(WL, WR, eos, axis)
+        else:
+            F = kt_flux(WL, WR, eos, axis, ws=ws)
         n = shape[axis]
         lo = [slice(None)] * 4
         hi = [slice(None)] * 4
@@ -106,6 +144,37 @@ def compute_rhs(U: np.ndarray, dx: float, options: HydroOptions,
     _add_sources(rhs, U, shape, dx, origin, options, gravity)
     if return_fluxes:
         return rhs, fluxes
+    return rhs
+
+
+def compute_rhs_reference(U: np.ndarray, dx: float, options: HydroOptions,
+                          origin: tuple[float, float, float] = (0.0, 0.0, 0.0),
+                          gravity: np.ndarray | None = None):
+    """The RHS as the original allocate-per-stage kernel composition.
+
+    Kept as the bitwise oracle for ``tests/core/test_kernel_fusion.py``
+    and the baseline side of the ``kernels_micro`` benchmark; production
+    callers use :func:`compute_rhs`.
+    """
+    g = NGHOST
+    shape = tuple(U.shape[1 + d] - 2 * g for d in range(3))
+    eos = options.eos
+    W = conserved_to_primitive(U, eos, options.rho_floor)
+    rhs = np.zeros((NF,) + shape)
+    for axis in range(3):
+        WL, WR = _faces(W, axis, options)
+        sl = [slice(None)] + [slice(g, g + shape[d]) for d in range(3)]
+        sl[1 + axis] = slice(None)
+        F = kt_flux_reference(WL[tuple(sl)], WR[tuple(sl)], eos, axis)
+        n = shape[axis]
+        lo = [slice(None)] * 4
+        hi = [slice(None)] * 4
+        lo[1 + axis] = slice(0, n)
+        hi[1 + axis] = slice(1, n + 1)
+        rhs += (F[tuple(lo)] - F[tuple(hi)]) / dx
+        if options.spin_correction:
+            _add_spin_correction(rhs, F, axis, n)
+    _add_sources(rhs, U, shape, dx, origin, options, gravity)
     return rhs
 
 
@@ -161,16 +230,20 @@ def _add_sources(rhs: np.ndarray, U: np.ndarray, shape: tuple, dx: float,
         rhs[EGAS] += om * om * (x * s[0] + y * s[1])
 
 
-def cfl_dt(U: np.ndarray, dx: float, options: HydroOptions) -> float:
-    """CFL-limited timestep of a ghost-filled block's interior."""
+def cfl_dt(U: np.ndarray, dx: float, options: HydroOptions,
+           ws=None) -> float:
+    """CFL-limited timestep of a ghost-filled block's interior.
+
+    Routed through the fused :func:`conserved_signal_speed` — the old
+    path materialized a full 14-field primitive copy of the interior just
+    to read density, velocities and pressure.  The resulting dt is
+    bitwise identical.
+    """
     g = NGHOST
     inner = (slice(None),) + tuple(
         slice(g, U.shape[1 + d] - g) for d in range(3))
-    W = conserved_to_primitive(U[inner], options.eos, options.rho_floor)
-    c = options.eos.sound_speed(W[RHO], W[EGAS])
-    vmax = 0.0
-    for d in range(3):
-        vmax = np.maximum(vmax, np.abs(W[SX + d]) + c)
+    vmax = conserved_signal_speed(U[inner], options.eos,
+                                  options.rho_floor, ws=ws)
     peak = float(np.max(vmax))
     if peak <= 0.0:
         return np.inf
@@ -179,30 +252,59 @@ def cfl_dt(U: np.ndarray, dx: float, options: HydroOptions) -> float:
 
 def rk2_step(U: np.ndarray, dt: float, dx: float, options: HydroOptions,
              fill_ghosts, origin=(0.0, 0.0, 0.0),
-             gravity: np.ndarray | None = None) -> None:
+             gravity: np.ndarray | None = None, ws=None) -> None:
     """Heun (SSP-RK2) update of a block, in place.
 
     ``fill_ghosts(U)`` must populate the ghost shell (boundary conditions
-    and/or neighbour exchange); it is called before each stage.
+    and/or neighbour exchange); it is called before each stage.  With a
+    workspace, both stage RHS arrays and the predictor state live in
+    reused scratch.
     """
     g = NGHOST
     n = U.shape[1] - 2 * g
     inner = (slice(None),) + (slice(g, g + n),) * 3
     fill_ghosts(U)
-    k1 = compute_rhs(U, dx, options, origin, gravity)
-    U1 = U.copy()
+    if ws is not None:
+        k1 = compute_rhs(U, dx, options, origin, gravity,
+                         out=ws.buf("rk2:k1", (NF, n, n, n)), ws=ws)
+        U1 = ws.buf("rk2:U1", U.shape)
+        np.copyto(U1, U)
+    else:
+        k1 = compute_rhs(U, dx, options, origin, gravity)
+        U1 = U.copy()
     U1[inner] += dt * k1
-    _apply_floors(U1, options)
+    apply_floors(U1, options)
     fill_ghosts(U1)
-    k2 = compute_rhs(U1, dx, options, origin, gravity)
+    k2 = compute_rhs(U1, dx, options, origin, gravity,
+                     out=ws.buf("rk2:k2", (NF, n, n, n))
+                     if ws is not None else None, ws=ws)
     U[inner] += 0.5 * dt * (k1 + k2)
-    _apply_floors(U, options)
+    apply_floors(U, options)
     _dual_energy_sync(U, inner, options)
 
 
-def _apply_floors(U: np.ndarray, options: HydroOptions) -> None:
-    np.maximum(U[RHO], options.rho_floor, out=U[RHO])
+def apply_floors(U: np.ndarray, options: HydroOptions) -> None:
+    """Vacuum floors, in place: raise rho, zero the raised cells' momenta,
+    clamp tau nonnegative.
+
+    Zeroing the momenta is the fix for the stale-kinetic-energy bug:
+    raising rho while keeping the momentum of the evacuated cell leaves a
+    kinetic energy s^2/(2 rho) computed at the *post-floor* density that
+    can dwarf egas, driving the dual-energy ``diff = egas - kin`` wildly
+    negative and locking the cell onto a stale tau tracer.  A cell thin
+    enough to be floored carries no meaningful momentum.
+    """
+    rho = U[RHO]
+    floored = rho < options.rho_floor
+    if floored.any():
+        for d in range(3):
+            U[SX + d][floored] = 0.0
+    np.maximum(rho, options.rho_floor, out=rho)
     np.maximum(U[TAU], 0.0, out=U[TAU])
+
+
+# back-compat spelling; the floors are part of the public stepping contract
+_apply_floors = apply_floors
 
 
 def _dual_energy_sync(U: np.ndarray, inner, options: HydroOptions) -> None:

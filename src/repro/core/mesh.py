@@ -42,7 +42,8 @@ from ..runtime.counters import default_registry
 from .eos import IdealGas
 from .grid import EGAS, LX, NF, NGHOST, RHO, SUBGRID_N, SX, TAU
 from .gravity.fmm import FmmSolver
-from .hydro.solver import HydroOptions, cfl_dt, compute_rhs
+from .hydro.solver import HydroOptions, apply_floors, cfl_dt, compute_rhs
+from .workspace import Workspace
 
 __all__ = ["Mesh", "BlockMesh", "DistributedMesh", "apply_boundary"]
 
@@ -159,6 +160,9 @@ class Mesh:
         self._rho_buf: np.ndarray | None = None
         self._grav_rho: np.ndarray | None = None
         self._grav_acc: np.ndarray | None = None
+        # kernel scratch: primitive block, face states, fluxes, stage
+        # RHS/predictor buffers all live here and are reused every step
+        self._ws = Workspace()
 
     # -- geometry / views --------------------------------------------------------
 
@@ -237,7 +241,7 @@ class Mesh:
 
     def compute_dt(self) -> float:
         self.fill_ghosts()
-        return cfl_dt(self.U, self.dx, self.options)
+        return cfl_dt(self.U, self.dx, self.options, ws=self._ws)
 
     def step(self, dt: float | None = None) -> float:
         """One SSP-RK2 step; returns the dt used."""
@@ -248,15 +252,19 @@ class Mesh:
             slice(g, g + self.shape[d]) for d in range(3))
         gravity = self._gravity_for_state() if self.self_gravity else None
         self.fill_ghosts()
-        k1 = compute_rhs(self.U, self.dx, self.options, self.origin, gravity)
-        U1 = self.U.copy()
+        ws = self._ws
+        k1 = compute_rhs(self.U, self.dx, self.options, self.origin, gravity,
+                         out=ws.buf("step:k1", (NF,) + self.shape), ws=ws)
+        U1 = ws.buf("step:U1", self.U.shape)
+        np.copyto(U1, self.U)
         U1[inner] += dt * k1
         self._floors(U1[inner])
         apply_boundary(U1, self.bc)
         if self.self_gravity:
             _, gravity = _uniform_acc(
                 self._solver, self._rho_contig(U1[inner][RHO]), self.engine)
-        k2 = compute_rhs(U1, self.dx, self.options, self.origin, gravity)
+        k2 = compute_rhs(U1, self.dx, self.options, self.origin, gravity,
+                         out=ws.buf("step:k2", (NF,) + self.shape), ws=ws)
         self.U[inner] += 0.5 * dt * (k1 + k2)
         self._floors(self.interior)
         self._sync_tau()
@@ -268,8 +276,7 @@ class Mesh:
         return dt
 
     def _floors(self, I: np.ndarray) -> None:
-        np.maximum(I[RHO], self.options.rho_floor, out=I[RHO])
-        np.maximum(I[TAU], 0.0, out=I[TAU])
+        apply_floors(I, self.options)
 
     def _sync_tau(self) -> None:
         I = self.interior
@@ -346,6 +353,11 @@ class BlockMesh:
         self._grav_acc: np.ndarray | None = None
         # per-step stage copies of every block, reused across steps
         self._stage: dict[tuple[int, int, int], np.ndarray] | None = None
+        # kernel scratch (thread-local inside, so futurized per-block RHS
+        # tasks on scheduler workers never alias) and the per-block stage
+        # RHS output buffers, reused across steps
+        self._ws = Workspace()
+        self._rhs_out: dict[str, dict] = {}
         # halo topology is fixed: precompute the 26-offset list, the
         # neighbour pairs and their channels once instead of per stage
         self._offsets = [o for o in itertools.product((-1, 0, 1), repeat=3)
@@ -578,7 +590,7 @@ class BlockMesh:
 
     def compute_dt(self) -> float:
         """CFL reduction over all blocks (min of per-block ``cfl_dt``)."""
-        return min(cfl_dt(blk, self.dx, self.options)
+        return min(cfl_dt(blk, self.dx, self.options, ws=self._ws)
                    for blk in self.blocks.values())
 
     def step(self, dt: float | None = None) -> float:
@@ -592,7 +604,7 @@ class BlockMesh:
         gen = 2 * self.steps
         gravity = self._gravity_for_state() if self.self_gravity else None
         self._halo_exchange(gen)
-        k1 = self._rhs_all(self.blocks, gravity)
+        k1 = self._rhs_all(self.blocks, gravity, self._stage_out("k1"))
         if self._stage is None:
             self._stage = {ip: np.empty_like(blk)
                            for ip, blk in self.blocks.items()}
@@ -600,20 +612,17 @@ class BlockMesh:
         for ip, blk in self.blocks.items():
             np.copyto(stage[ip], blk)
             stage[ip][inner] += dt * k1[ip]
-            np.maximum(stage[ip][RHO], self.options.rho_floor,
-                       out=stage[ip][RHO])
-            np.maximum(stage[ip][TAU], 0.0, out=stage[ip][TAU])
+            apply_floors(stage[ip], self.options)
         saved, self.blocks = self.blocks, stage
         self._halo_exchange(gen + 1)
         if self.self_gravity:
             _, gravity = _uniform_acc(self._solver, self._gather_rho(),
                                       self.engine)
-        k2 = self._rhs_all(self.blocks, gravity)
+        k2 = self._rhs_all(self.blocks, gravity, self._stage_out("k2"))
         self.blocks = saved
         for ip, blk in self.blocks.items():
             blk[inner] += 0.5 * dt * (k1[ip] + k2[ip])
-            np.maximum(blk[RHO], self.options.rho_floor, out=blk[RHO])
-            np.maximum(blk[TAU], 0.0, out=blk[TAU])
+            apply_floors(blk, self.options)
             I = blk[inner]
             eos = self.options.eos
             I[TAU] = eos.sync_tau(I[RHO], I[SX], I[SX + 1], I[SX + 2],
@@ -625,20 +634,35 @@ class BlockMesh:
         default_registry().increment("/hydro/steps")
         return dt
 
-    def _rhs_all(self, blocks, gravity: np.ndarray | None = None) -> dict:
+    def _stage_out(self, stage: str) -> dict:
+        """Per-block RHS output buffers for one RK stage (k1 and k2 must
+        coexist, so each stage owns a dict), allocated once per mesh."""
+        outs = self._rhs_out.get(stage)
+        if outs is None:
+            s = self.nsub
+            outs = self._rhs_out[stage] = {
+                ip: np.empty((NF, s, s, s)) for ip in self.blocks}
+        return outs
+
+    def _rhs_all(self, blocks, gravity: np.ndarray | None = None,
+                 outs: dict | None = None) -> dict:
         # per-block RHS tasks stay on CPU workers (use_device=False): the
         # engine still chunks them into aggregation-region tasks, so the
         # scheduler sees slot-buffer granularity, not per-block tasks
         items = list(blocks.items())
+        if outs is None:
+            outs = {ip: None for ip, _ in items}
         if self.engine is None:
             return {ip: compute_rhs(blk, self.dx, self.options,
                                     self._block_origin(ip),
-                                    self._block_gravity(gravity, ip))
+                                    self._block_gravity(gravity, ip),
+                                    False, outs[ip], self._ws)
                     for ip, blk in items}
         futures = self.engine.map(
             compute_rhs,
             [(blk, self.dx, self.options, self._block_origin(ip),
-              self._block_gravity(gravity, ip)) for ip, blk in items],
+              self._block_gravity(gravity, ip), False, outs[ip], self._ws)
+             for ip, blk in items],
             use_device=False)
         return {ip: fut.get() for (ip, _), fut in zip(items, futures)}
 

@@ -1,0 +1,83 @@
+"""Shape-keyed scratch buffers for the hot solver kernels.
+
+The fused SoA kernels (hydro RHS, FMM pair batches) are memory-bound:
+at production sizes the per-stage ``np.empty`` churn — primitive blocks,
+face states, flux arrays, pair-kernel outputs — costs as much as the
+arithmetic it feeds.  A :class:`Workspace` lets the *caller* own that
+scratch and reuse it across stages, steps and solves.
+
+Contract
+--------
+
+* Buffers are handed out **uninitialized** (``np.empty``); every kernel
+  that takes a workspace must fully overwrite what it reads back.  No
+  kernel result may depend on prior buffer contents — this is what keeps
+  workspace-backed runs bit-identical to allocation-per-call runs.
+* Buffers are keyed by ``(name, shape, dtype)`` (:meth:`buf`) or grown to
+  a high-water capacity per ``name`` (:meth:`take`), so one workspace
+  serves every block/batch size that flows through it.
+* Storage is **thread-local**: a single workspace may be shared by a
+  futurized mesh whose per-block tasks run on scheduler workers — each
+  worker sees its own buffer set, so concurrent kernels never alias.
+* A workspace holds *no live state* between kernel calls.  Dropping or
+  recreating one is always safe; checkpoint/restore never snapshots it
+  (rollback replays write fresh values into whatever buffers exist).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """Reusable scratch arrays for allocation-free kernel hot loops."""
+
+    __slots__ = ("_local",)
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+
+    def _bufs(self) -> dict:
+        bufs = getattr(self._local, "bufs", None)
+        if bufs is None:
+            bufs = self._local.bufs = {}
+        return bufs
+
+    def buf(self, name: str, shape: tuple[int, ...],
+            dtype=np.float64) -> np.ndarray:
+        """An uninitialized scratch array of exactly ``shape``.
+
+        The same ``(name, shape, dtype)`` always returns the same array
+        (per thread), so per-stage temporaries cost one allocation for
+        the lifetime of the workspace.
+        """
+        bufs = self._bufs()
+        key = (name, shape, np.dtype(dtype).str)
+        arr = bufs.get(key)
+        if arr is None:
+            arr = bufs[key] = np.empty(shape, dtype)
+        return arr
+
+    def take(self, name: str, n: int, trailing: tuple[int, ...] = (),
+             dtype=np.float64) -> np.ndarray:
+        """A view of length ``n`` into a capacity-grown buffer.
+
+        Unlike :meth:`buf`, one buffer per ``name`` is kept and grown to
+        the largest ``(n,) + trailing`` ever requested; the returned view
+        covers the first ``n`` rows.  This is the right shape policy for
+        pair batches whose sizes vary per plan entry.
+        """
+        bufs = self._bufs()
+        key = (name, trailing, np.dtype(dtype).str)
+        arr = bufs.get(key)
+        if arr is None or arr.shape[0] < n:
+            arr = bufs[key] = np.empty((n,) + trailing, dtype)
+        return arr[:n]
+
+    def nbytes(self) -> int:
+        """Total bytes held by this thread's buffers (diagnostics)."""
+        return sum(a.nbytes for a in self._bufs().values())

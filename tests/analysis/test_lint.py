@@ -219,6 +219,81 @@ def test_repro007_absolute_import_spelling_also_counts():
     assert [v.rule for v in vs] == ["REPRO007"]
 
 
+# -- REPRO008: unconditional allocations in out=/ws hot kernels -----------
+
+def test_repro008_unconditional_alloc_with_out_param():
+    vs = _lint("""
+        def pair_kernel(dR, m, out=None):
+            scratch = np.empty(len(dR))
+            out[...] = scratch
+            return out
+    """, rel="repro/core/gravity/kernels.py")
+    assert [v.rule for v in vs] == ["REPRO008"]
+    assert "caller's scratch" in vs[0].message
+
+
+def test_repro008_all_banned_allocators_fire():
+    vs = _lint("""
+        def rhs(U, ws):
+            a = np.zeros(3)
+            b = np.empty_like(U)
+            c = np.zeros_like(U)
+            d = np.concatenate([a, b])
+            return a, b, c, d
+    """, rel="repro/core/hydro/solver.py")
+    assert [v.rule for v in vs] == ["REPRO008"] * 4
+
+
+def test_repro008_guarded_fallback_branches_are_clean():
+    # if/elif chain conditioned on out / ws
+    assert _lint("""
+        def rhs(U, out=None, ws=None):
+            if out is not None:
+                r = out
+            elif ws is not None:
+                r = ws.buf("rhs", U.shape)
+            else:
+                r = np.empty(U.shape)
+            return r
+    """, rel="repro/core/hydro/solver.py") == []
+    # conditional expression on ws
+    assert _lint("""
+        def scratch(ws, shape):
+            return ws.buf("x", shape) if ws is not None else np.empty(shape)
+    """, rel="repro/core/hydro/riemann.py") == []
+
+
+def test_repro008_out_of_scope_cases_are_clean():
+    # reference kernels without out=/ws allocate freely
+    assert _lint("""
+        def reference(dR):
+            return np.empty(len(dR))
+    """, rel="repro/core/gravity/kernels.py") == []
+    # same code outside core/gravity|hydro is untouched
+    assert _lint("""
+        def pair_kernel(dR, out=None):
+            return np.empty(len(dR))
+    """, rel="repro/core/mesh.py") == []
+    # nested helpers are judged by their own signature, not the parent's
+    assert _lint("""
+        def solve(self, out=None):
+            def fresh(n):
+                return np.empty(n)
+            return fresh(4) if out is None else out
+    """, rel="repro/core/gravity/fmm.py") == []
+
+
+def test_repro008_nested_def_with_own_out_param_fires():
+    vs = _lint("""
+        def driver(x):
+            def kernel(dR, out=None):
+                t = np.zeros(3)
+                return t
+            return kernel(x)
+    """, rel="repro/core/gravity/fmm.py")
+    assert [v.rule for v in vs] == ["REPRO008"]
+
+
 # -- syntax errors, repo cleanliness, CLI ---------------------------------
 
 def test_syntax_error_is_reported_not_raised():

@@ -1,0 +1,409 @@
+"""Property tests for the Sec. 4.3 kernel rework: the fused SoA kernels
+against their retained reference implementations, plus the floored-cell
+regression suite.
+
+Tolerance policy
+----------------
+Hydro fusion (``kt_flux``, the workspace PPM path, ``compute_rhs``,
+``conserved_signal_speed``) is **bitwise**: the fusion only removes
+temporaries and routes results through ``out=``/workspace scratch; every
+surviving floating-point operation runs in the reference order, so the
+comparisons below use exact equality (``rtol=0``).
+
+The fused ``m2l_pair`` is the one exception: the reference contracts the
+quadrupole against full Green tensors with ``np.einsum``, whose internal
+summation order is an implementation detail, while the fused kernel sums
+the 6/10 unique components explicitly.  Reassociating a ~10-term sum
+moves the result by a few ULPs, so that comparison carries a documented
+relative tolerance instead.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import IdealGas, NF, NGHOST, RHO, SX, EGAS, TAU
+from repro.core.grid import LX
+from repro.core.gravity.kernels import (LEVI_CIVITA, greens, m2l_pair,
+                                        m2l_pair_reference, p2p_pair,
+                                        pair_torque)
+from repro.core.hydro.reconstruct import minmod_faces, ppm_faces
+from repro.core.hydro.riemann import (conserved_signal_speed,
+                                      conserved_to_primitive, kt_flux,
+                                      kt_flux_reference, max_signal_speed)
+from repro.core.hydro.solver import (HydroOptions, apply_floors, cfl_dt,
+                                     compute_rhs, compute_rhs_reference)
+from repro.core.mesh import apply_boundary
+from repro.core.scenario import equilibrium_star
+from repro.core.workspace import Workspace
+
+FLOOR = 1e-12
+
+
+# -- seeded batches ---------------------------------------------------------
+
+def pair_batch(n=257, seed=11):
+    """Well-separated interaction pairs with symmetric quadrupoles."""
+    rng = np.random.default_rng(seed)
+    dR = rng.normal(size=(n, 3)) * 4 + np.array([5.0, -5.0, 5.0])
+    mA = rng.uniform(0.5, 2.0, n)
+    mB = rng.uniform(0.5, 2.0, n)
+    M2A = rng.normal(size=(n, 3, 3))
+    M2A = 0.5 * (M2A + M2A.transpose(0, 2, 1))
+    M2B = rng.normal(size=(n, 3, 3))
+    M2B = 0.5 * (M2B + M2B.transpose(0, 2, 1))
+    return dR, mA, mB, M2A, M2B
+
+
+def hydro_block(n=12, seed=3, nasty=True):
+    """A ghost-filled conserved block with floored and denormal cells."""
+    rng = np.random.default_rng(seed)
+    m = n + 2 * NGHOST
+    eos = IdealGas()
+    U = np.zeros((NF, m, m, m))
+    U[RHO] = rng.uniform(0.5, 2.0, (m, m, m))
+    for d in range(3):
+        U[SX + d] = rng.normal(size=(m, m, m)) * 0.3
+    eint = rng.uniform(0.2, 1.5, (m, m, m))
+    U[EGAS] = eint + 0.5 * (U[SX] ** 2 + U[SX + 1] ** 2
+                            + U[SX + 2] ** 2) / U[RHO]
+    U[TAU] = eos.tau_from_eint(eint)
+    for f in range(TAU + 1, NF):
+        U[f] = rng.uniform(0.0, 0.5, (m, m, m)) * U[RHO]
+    if nasty:
+        # sprinkle vacuum (below floor), edge-of-floor, and denormal
+        # densities with *finite* momenta — the states the headline
+        # bugfix is about
+        g = NGHOST
+        U[:, g + 1, g + 2, g + 3] = 0.0
+        U[RHO, g + 1, g + 2, g + 3] = 1e-30
+        U[SX, g + 1, g + 2, g + 3] = 0.7
+        U[EGAS, g + 1, g + 2, g + 3] = 1e-25
+        U[RHO, g + 4, g, g + 2] = FLOOR              # exactly at floor
+        U[SX + 1, g + 4, g, g + 2] = -0.4
+        U[RHO, g, g + 5, g + 1] = 5e-324             # denormal
+        U[SX + 2, g, g + 5, g + 1] = 0.2
+        U[TAU, g, g + 5, g + 1] = 1e-200
+    apply_boundary(U, "periodic")
+    return U
+
+
+def face_states(axis, seed=7):
+    U = hydro_block(seed=seed)
+    W = conserved_to_primitive(U, IdealGas(), FLOOR)
+    WL, WR = ppm_faces(W, NGHOST, axis + 1)
+    return np.ascontiguousarray(WL), np.ascontiguousarray(WR)
+
+
+# -- gravity kernels --------------------------------------------------------
+
+def test_p2p_out_matches_fresh():
+    dR, mA, mB, _, _ = pair_batch()
+    fresh = p2p_pair(dR, mA, mB)
+    n = len(dR)
+    out = (np.empty(n), np.empty(n), np.empty((n, 3)), np.empty((n, 3)))
+    ret = p2p_pair(dR, mA, mB, out=out)
+    for o, r, f in zip(out, ret, fresh):
+        assert r is o
+        np.testing.assert_array_equal(o, f)
+
+
+def test_m2l_out_matches_fresh():
+    dR, mA, mB, M2A, M2B = pair_batch()
+    fresh = m2l_pair(dR, mA, mB, M2A, M2B)
+    n = len(dR)
+    out = (np.empty(n), np.empty(n), np.empty((n, 3)), np.empty((n, 3)),
+           np.empty((n, 3, 3)), np.empty((n, 3, 3)))
+    ret = m2l_pair(dR, mA, mB, M2A, M2B, out=out)
+    for o, r, f in zip(out, ret, fresh):
+        assert r is o
+        np.testing.assert_array_equal(o, f)
+
+
+def test_m2l_fused_matches_reference_within_ulps():
+    # einsum reassociation tolerance — see the module docstring
+    dR, mA, mB, M2A, M2B = pair_batch(n=1024)
+    fused = m2l_pair(dR, mA, mB, M2A, M2B)
+    ref = m2l_pair_reference(dR, mA, mB, M2A, M2B)
+    for f, r in zip(fused, ref):
+        np.testing.assert_allclose(f, r, rtol=1e-12, atol=1e-15)
+
+
+def test_greens_tensors_exactly_symmetric_and_traceless():
+    dR, *_ = pair_batch()
+    g0, g1, g2, g3 = greens(dR)
+    # unique components written to every symmetric slot => exact symmetry
+    np.testing.assert_array_equal(g2, g2.transpose(0, 2, 1))
+    for perm in ((0, 1, 3, 2), (0, 2, 1, 3), (0, 3, 2, 1)):
+        np.testing.assert_array_equal(g3, g3.transpose(*perm))
+    # 1/r is harmonic away from the origin
+    np.testing.assert_allclose(np.trace(g2, axis1=1, axis2=2), 0.0,
+                               atol=1e-15)
+    np.testing.assert_allclose(np.einsum("niij->nj", g3), 0.0, atol=1e-15)
+
+
+def test_pair_torque_matches_levi_civita_oracle():
+    dR, mA, mB, M2A, M2B = pair_batch()
+    tA, tB = pair_torque(dR, mA, mB, M2A, M2B)
+    _, _, g2, _ = greens(dR)
+    oracle_A = mB[:, None] * np.einsum("jlm,nmk,njk->nl",
+                                       LEVI_CIVITA, M2A, g2)
+    oracle_B = mA[:, None] * np.einsum("jlm,nmk,njk->nl",
+                                       LEVI_CIVITA, M2B, g2)
+    np.testing.assert_allclose(tA, oracle_A, rtol=1e-12, atol=1e-15)
+    np.testing.assert_allclose(tB, oracle_B, rtol=1e-12, atol=1e-15)
+
+
+def test_coincidence_guard_hoisted_out_of_hot_kernels():
+    # the r2 == 0 scan moved to plan-build time (FmmSolver._validate_pairs
+    # checks each recorded batch once); the per-call hot kernels no longer
+    # pay for it, while the geometry-level helpers keep their guard
+    dR = np.array([[1.0, 0.0, 0.0], [0.0, 0.0, 0.0]])
+    m = np.ones(2)
+    M2 = np.zeros((2, 3, 3))
+    with pytest.raises(ValueError, match="coincident"):
+        greens(dR)
+    with pytest.raises(ValueError, match="coincident"):
+        pair_torque(dR, m, m, M2, M2)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        phiA, _, accA, _ = p2p_pair(dR, m, m)
+        res = m2l_pair(dR, m, m, M2, M2)
+    assert np.isfinite(phiA[0]) and np.isfinite(accA[0]).all()
+    assert not np.isfinite(res[0][1])     # garbage in, garbage out — the
+    # solver's recorded pair lists are what guarantee this never happens
+
+
+# -- reconstruction ---------------------------------------------------------
+
+@pytest.mark.parametrize("axis", [1, 2, 3])
+def test_ppm_workspace_path_bitwise(axis):
+    U = hydro_block()
+    W = conserved_to_primitive(U, IdealGas(), FLOOR)
+    refL, refR = ppm_faces(W, NGHOST, axis)
+    ws = Workspace()
+    for _ in range(3):      # reuse must not leak state between calls
+        wsL, wsR = ppm_faces(W, NGHOST, axis, ws=ws)
+        np.testing.assert_array_equal(wsL, refL)
+        np.testing.assert_array_equal(wsR, refR)
+    out = (np.empty_like(refL), np.empty_like(refR))
+    outL, outR = ppm_faces(W, NGHOST, axis, out=out)
+    assert outL is out[0] and outR is out[1]
+    np.testing.assert_array_equal(outL, refL)
+    np.testing.assert_array_equal(outR, refR)
+
+
+def test_ppm_workspace_path_bitwise_1d():
+    rng = np.random.default_rng(9)
+    q = rng.uniform(0.5, 2.0, 40)
+    refL, refR = ppm_faces(q, NGHOST, 0)
+    wsL, wsR = ppm_faces(q, NGHOST, 0, ws=Workspace())
+    np.testing.assert_array_equal(wsL, refL)
+    np.testing.assert_array_equal(wsR, refR)
+
+
+@pytest.mark.parametrize("axis", [1, 2, 3])
+def test_minmod_workspace_path_bitwise(axis):
+    U = hydro_block()
+    W = conserved_to_primitive(U, IdealGas(), FLOOR)
+    refL, refR = minmod_faces(W, NGHOST, axis)
+    wsL, wsR = minmod_faces(W, NGHOST, axis, ws=Workspace())
+    np.testing.assert_array_equal(wsL, refL)
+    np.testing.assert_array_equal(wsR, refR)
+
+
+# -- fluxes and the full RHS ------------------------------------------------
+
+@pytest.mark.parametrize("axis", [0, 1, 2])
+def test_kt_flux_fused_bitwise(axis):
+    WL, WR = face_states(axis)
+    ref = kt_flux_reference(WL, WR, IdealGas(), axis)
+    eos = IdealGas()
+    np.testing.assert_array_equal(kt_flux(WL, WR, eos, axis), ref)
+    ws = Workspace()
+    for _ in range(2):
+        np.testing.assert_array_equal(
+            kt_flux(WL, WR, eos, axis, ws=ws), ref)
+    out = np.empty_like(ref)
+    assert kt_flux(WL, WR, eos, axis, out=out) is out
+    np.testing.assert_array_equal(out, ref)
+
+
+@pytest.mark.parametrize("reconstruction", ["ppm", "minmod"])
+def test_compute_rhs_fused_bitwise(reconstruction):
+    U = hydro_block()
+    n = U.shape[1] - 2 * NGHOST
+    rng = np.random.default_rng(13)
+    gravity = rng.normal(size=(3, n, n, n)) * 0.1
+    opts = HydroOptions(eos=IdealGas(), reconstruction=reconstruction,
+                        omega=0.3)
+    ref = compute_rhs_reference(U, 0.05, opts, origin=(-0.3, 0.0, 0.2),
+                                gravity=gravity)
+    plain = compute_rhs(U, 0.05, opts, origin=(-0.3, 0.0, 0.2),
+                        gravity=gravity)
+    np.testing.assert_array_equal(plain, ref)
+    ws = Workspace()
+    out = np.empty((NF, n, n, n))
+    for _ in range(3):      # steady-state reuse of both out and ws
+        got = compute_rhs(U, 0.05, opts, origin=(-0.3, 0.0, 0.2),
+                          gravity=gravity, out=out, ws=ws)
+        assert got is out
+        np.testing.assert_array_equal(out, ref)
+    ws_only = compute_rhs(U, 0.05, opts, origin=(-0.3, 0.0, 0.2),
+                          gravity=gravity, ws=Workspace())
+    np.testing.assert_array_equal(ws_only, ref)
+
+
+def test_compute_rhs_return_fluxes_detached_from_workspace():
+    U = hydro_block()
+    opts = HydroOptions(eos=IdealGas())
+    ws = Workspace()
+    _, fluxes = compute_rhs(U, 0.05, opts, return_fluxes=True, ws=ws)
+    kept = [F.copy() for F in fluxes]
+    compute_rhs(U, 0.04, opts, ws=ws)   # must not overwrite held fluxes
+    for F, K in zip(fluxes, kept):
+        np.testing.assert_array_equal(F, K)
+
+
+# -- cfl_dt through the fused signal-speed kernel ---------------------------
+
+def reference_cfl_dt(U, dx, options):
+    """The old path: materialize the full primitive block, scan per axis."""
+    g = NGHOST
+    inner = (slice(None),) + tuple(
+        slice(g, U.shape[1 + d] - g) for d in range(3))
+    W = conserved_to_primitive(U[inner], options.eos, options.rho_floor)
+    vmax = np.zeros(W.shape[1:])
+    for axis in range(3):
+        np.maximum(vmax, max_signal_speed(W, options.eos, axis), out=vmax)
+    peak = float(np.max(vmax))
+    return np.inf if peak <= 0.0 else options.cfl * dx / peak
+
+
+def test_cfl_dt_identical_to_primitive_path():
+    U = hydro_block()
+    opts = HydroOptions(eos=IdealGas())
+    ref = reference_cfl_dt(U, 0.05, opts)
+    assert cfl_dt(U, 0.05, opts) == ref
+    ws = Workspace()
+    for _ in range(3):
+        assert cfl_dt(U, 0.05, opts, ws=ws) == ref
+
+
+def test_conserved_signal_speed_bitwise_vs_primitives():
+    U = hydro_block()
+    opts = HydroOptions(eos=IdealGas())
+    W = conserved_to_primitive(U, opts.eos, opts.rho_floor)
+    vmax = np.zeros(W.shape[1:])
+    for axis in range(3):
+        np.maximum(vmax, max_signal_speed(W, opts.eos, axis), out=vmax)
+    np.testing.assert_array_equal(
+        conserved_signal_speed(U, opts.eos, opts.rho_floor), vmax)
+
+
+def test_cfl_dt_identical_on_equilibrium_star():
+    mesh = equilibrium_star(n=16, domain=4.0)
+    mesh.fill_ghosts()
+    ref = reference_cfl_dt(mesh.U, mesh.dx, mesh.options)
+    assert mesh.compute_dt() == ref
+
+
+# -- floored-cell regressions (the headline bugfix) -------------------------
+
+def corrupted_pair():
+    """A clean block and a copy with one fault-corrupted interior cell."""
+    clean = hydro_block(nasty=False)
+    corrupt = clean.copy()
+    g = NGHOST
+    corrupt[RHO, g + 2, g + 3, g + 4] = 1e-290     # far below the floor
+    corrupt[SX, g + 2, g + 3, g + 4] = 1.0         # but finite momentum
+    corrupt[EGAS, g + 2, g + 3, g + 4] = 1e-280
+    corrupt[TAU, g + 2, g + 3, g + 4] = 1e-280
+    apply_boundary(corrupt, "periodic")
+    return clean, corrupt
+
+
+def test_corrupted_cell_does_not_collapse_cfl_dt():
+    # pre-fix, 1/1e-290 velocities drove dt to ~1e-291 x the clean value
+    clean, corrupt = corrupted_pair()
+    opts = HydroOptions(eos=IdealGas())
+    dt_clean = cfl_dt(clean, 0.05, opts)
+    dt_corrupt = cfl_dt(corrupt, 0.05, opts)
+    assert np.isfinite(dt_corrupt)
+    assert dt_corrupt > dt_clean / 10.0
+
+
+def test_c2p_zeroes_specific_fields_of_floored_cells():
+    U = hydro_block()
+    g = NGHOST
+    at = (g + 4, g, g + 2)          # rho == rho_floor exactly (<= fires)
+    below = (g + 1, g + 2, g + 3)   # rho = 1e-30
+    W = conserved_to_primitive(U, IdealGas(), FLOOR)
+    for cell in (at, below):
+        assert W[(RHO,) + cell] == FLOOR
+        for f in (SX, SX + 1, SX + 2, *range(TAU, NF)):
+            assert W[(f,) + cell] == 0.0
+    # above-floor cells keep the plain division result
+    ok = (g, g, g)
+    assert U[(RHO,) + ok] > FLOOR
+    assert W[(SX,) + ok] == U[(SX,) + ok] / U[(RHO,) + ok]
+
+
+def test_apply_floors_zeroes_momenta_of_floored_cells():
+    U = hydro_block(nasty=False)
+    g = NGHOST
+    cell = (g + 1, g + 1, g + 1)
+    U[(RHO,) + cell] = 1e-40
+    for d in range(3):
+        U[(SX + d,) + cell] = 0.5 - 0.1 * d
+    U[(TAU,) + cell] = -1e-3
+    keep = (g + 2, g + 2, g + 2)
+    s_keep = [U[(SX + d,) + keep] for d in range(3)]
+    opts = HydroOptions(eos=IdealGas())
+    apply_floors(U, opts)
+    assert U[(RHO,) + cell] == opts.rho_floor
+    for d in range(3):
+        assert U[(SX + d,) + cell] == 0.0        # no stale kinetic energy
+        assert U[(SX + d,) + keep] == s_keep[d]  # healthy cells untouched
+    assert U[(TAU,) + cell] == 0.0
+
+
+def test_floored_cell_flows_clean_through_dual_energy():
+    # after the floors, kin == 0, so diff/safe == 1 > eta1/eta2: the
+    # dual-energy switch trusts egas and sync_tau rederives tau from it
+    # instead of locking onto the stale tracer
+    eos = IdealGas()
+    U = hydro_block(nasty=False)
+    g = NGHOST
+    cell = (g + 3, g + 2, g + 1)
+    U[(RHO,) + cell] = 1e-100
+    U[(SX,) + cell] = 2.0            # stale momentum about to be zeroed
+    U[(EGAS,) + cell] = 1e-6
+    U[(TAU,) + cell] = 1e3           # wildly stale tracer
+    opts = HydroOptions(eos=eos)
+    apply_floors(U, opts)
+    args = tuple(U[(f,) + cell] for f in (RHO, SX, SX + 1, SX + 2,
+                                          EGAS, TAU))
+    assert eos.internal_energy(*args) == U[(EGAS,) + cell]
+    assert eos.sync_tau(*args) == eos.tau_from_eint(U[(EGAS,) + cell])
+
+
+def test_eos_floor_unified_with_solver_floor():
+    eos = IdealGas(rho_floor=1e-6)
+    # the clamp is the configured floor, not a hard-wired 1e-300
+    assert eos.sound_speed(1e-30, 1.0) \
+        == np.sqrt(eos.gamma * 1.0 / 1e-6)
+    assert eos.kinetic(1e-30, 3.0, 0.0, 0.0) == 0.5 * 9.0 / 1e-6
+    with pytest.raises(ValueError):
+        IdealGas(rho_floor=0.0)
+    # HydroOptions propagates its floor into the EOS it holds
+    opts = HydroOptions(eos=IdealGas(), rho_floor=1e-8)
+    assert opts.eos.rho_floor == 1e-8
+
+
+def test_spin_fields_survive_fusion():
+    # the L slots ride the same fused machinery; a rotating-frame RHS
+    # must still match the reference on them specifically
+    U = hydro_block()
+    opts = HydroOptions(eos=IdealGas(), omega=0.5)
+    ref = compute_rhs_reference(U, 0.05, opts)
+    got = compute_rhs(U, 0.05, opts, ws=Workspace())
+    np.testing.assert_array_equal(got[LX:LX + 3], ref[LX:LX + 3])
