@@ -77,6 +77,17 @@ REPRO008 *alloc-in-hot-kernel*
     rule only fires on unconditional allocations.  Reference kernels
     without an ``out=``/``ws`` parameter are out of scope by
     construction.
+
+REPRO009 *unverified-checkpoint-record*
+    Checkpoint records must round-trip through the verified store API of
+    ``resilience/checkpoint.py``: constructing a ``MeshCheckpoint``
+    directly bypasses checksum stamping (the record would never fail
+    verification, however damaged), and mutating a manager's
+    ``_checkpoints`` list — append/pop/assignment/deletion — bypasses
+    the write-then-commit protocol and the fallback accounting.  Both
+    are flagged everywhere outside ``resilience/checkpoint.py``;
+    snapshot through ``CheckpointManager.save`` and restore through
+    ``restore_latest``.
 """
 
 from __future__ import annotations
@@ -136,6 +147,10 @@ RULES: dict[str, tuple[str, str]] = {
                  "core/gravity/ and core/hydro/ kernels taking out=/ws "
                  "must not allocate unconditionally via np.empty/np.zeros/"
                  "np.concatenate; allocate only in the no-workspace branch"),
+    "REPRO009": ("unverified-checkpoint-record",
+                 "checkpoint records round-trip through the verified store: "
+                 "no MeshCheckpoint construction or _checkpoints mutation "
+                 "outside resilience/checkpoint.py"),
 }
 
 #: scheduler entry points whose callable arguments become task bodies
@@ -153,6 +168,9 @@ _NONDET_TIME = {"time", "time_ns"}
 _ALLOC_FUNCS = {"empty", "zeros", "empty_like", "zeros_like", "concatenate"}
 #: parameter names that mark a function as workspace-aware
 _SCRATCH_PARAMS = {"out", "ws"}
+
+#: list methods that mutate a checkpoint store in place (REPRO009)
+_CKPT_MUTATORS = {"append", "pop", "clear", "extend", "insert", "remove"}
 
 
 def _is_unbounded_get(node: ast.Call) -> bool:
@@ -216,6 +234,9 @@ class _Linter(ast.NodeVisitor):
         #: the module pulls in the network layer, so its channel traffic
         #: may cross localities (REPRO007 scope)
         self.imports_network = imports_network
+        #: everywhere except the verified store itself (REPRO009 scope)
+        self.outside_ckpt_store = not self.rel.endswith(
+            "resilience/checkpoint.py")
 
     def _hit(self, node: ast.AST, rule: str, message: str) -> None:
         self.violations.append(
@@ -374,6 +395,27 @@ class _Linter(ast.NodeVisitor):
                       "network-aware core/ module bypasses the parcelport "
                       "accounting (local/remote split, eager/rendezvous "
                       "tally); send through HaloTransport.send instead")
+        # REPRO009: checkpoint records must round-trip through the store
+        if self.outside_ckpt_store:
+            ctor = (func.id if isinstance(func, ast.Name)
+                    else func.attr if isinstance(func, ast.Attribute)
+                    else None)
+            if ctor == "MeshCheckpoint":
+                self._hit(node, "REPRO009",
+                          "constructing MeshCheckpoint outside "
+                          "resilience/checkpoint.py bypasses checksum "
+                          "stamping (the record could never fail "
+                          "verification); snapshot through "
+                          "CheckpointManager.save")
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in _CKPT_MUTATORS
+                    and isinstance(func.value, ast.Attribute)
+                    and func.value.attr == "_checkpoints"):
+                self._hit(node, "REPRO009",
+                          f"{func.attr}() on a manager's _checkpoints list "
+                          "bypasses the write-then-commit protocol and the "
+                          "fallback accounting; go through "
+                          "CheckpointManager.save / restore_latest")
         # REPRO004: counter-name sections
         name_arg = None
         if (isinstance(func, ast.Attribute) and func.attr in _COUNTER_METHODS
@@ -401,6 +443,36 @@ class _Linter(ast.NodeVisitor):
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_lease_guards(node)
         self._check_hot_kernel_allocs(node)
+        self.generic_visit(node)
+
+    # REPRO009: assignment / deletion targets that rewrite a checkpoint
+    # store in place (``mgr._checkpoints = ...``, ``mgr._checkpoints[i] =``,
+    # ``del mgr._checkpoints[:]``, ``mgr._checkpoints += ...``)
+
+    def _check_ckpt_store_target(self, target: ast.AST) -> None:
+        if not self.outside_ckpt_store:
+            return
+        for sub in ast.walk(target):
+            if isinstance(sub, ast.Attribute) and sub.attr == "_checkpoints":
+                self._hit(sub, "REPRO009",
+                          "rewriting a manager's _checkpoints list bypasses "
+                          "the write-then-commit protocol and the fallback "
+                          "accounting; go through CheckpointManager.save / "
+                          "restore_latest / reset")
+                return
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_ckpt_store_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_ckpt_store_target(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_ckpt_store_target(target)
         self.generic_visit(node)
 
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
@@ -451,7 +523,7 @@ def lint_paths(paths: Iterable[str]) -> list[Violation]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="repo-specific AST lint pass (REPRO001..REPRO008)")
+        description="repo-specific AST lint pass (REPRO001..REPRO009)")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
     parser.add_argument("--rules", action="store_true",

@@ -201,7 +201,7 @@ def format_report(registry: CounterRegistry | None = None) -> str:
                 head, tail = "(misc)", head
             subgroups.setdefault(head, []).append([tail, round(value, 6)])
         order = ("injected", "parcels", "tasks", "steps", "health",
-                 "checkpoint", "agas")
+                 "checkpoint", "ckpt", "agas")
         rows = []
         for head in sorted(subgroups, key=lambda h: (
                 order.index(h) if h in order else len(order), h)):
@@ -211,6 +211,23 @@ def format_report(registry: CounterRegistry | None = None) -> str:
             ["layer", "counter", "value"], rows,
             title="resilience (/resilience) — injected faults and "
                   "recoveries"))
+
+    recovery = groups.get("recovery")
+    if recovery:
+        rows = []
+        for key in ("global-rollbacks", "elastic-restarts",
+                    "components-migrated", "components-restored",
+                    "blocks-fetched", "bytes-fetched", "generation",
+                    "localities-remaining"):
+            if key in recovery:
+                rows.append([key, int(recovery[key])])
+        for key, value in sorted(recovery.items()):
+            if not any(row[0] == key for row in rows):
+                rows.append([key, round(value, 6)])
+        sections.append(format_table(
+            ["counter", "value"], rows,
+            title="global rollback & elastic restart (/recovery) — "
+                  "verified-generation restore over the survivors"))
 
     futures = groups.get("futures")
     if futures:

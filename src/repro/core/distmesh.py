@@ -37,7 +37,7 @@ from __future__ import annotations
 from typing import Callable
 
 from ..network.transport import HaloTransport
-from ..runtime.agas import AgasRuntime, Component, Gid
+from ..runtime.agas import AgasRuntime, Component, Gid, LocalityFailed
 from ..runtime.counters import CounterRegistry, default_registry
 from .mesh import BlockMesh
 
@@ -123,6 +123,9 @@ class DistBlockMesh(BlockMesh):
             self.gids[ip] = self.agas.register(comp, loc)
             self._components[ip] = comp
             self._owner[ip] = loc
+        #: blocks whose last live copy died with a locality (their GIDs
+        #: resolve to LocalityFailed until apply_ownership restores them)
+        self._lost_blocks: set[tuple[int, int, int]] = set()
 
     # -- ownership ------------------------------------------------------------
 
@@ -144,11 +147,61 @@ class DistBlockMesh(BlockMesh):
         self.block_migrations += 1
         self.registry.increment("/distmesh/migrations")
 
-    def fail_locality(self, locality: int) -> dict[str, list[Gid]]:
-        """Kill a locality; AGAS evacuates its blocks (GIDs stay valid)."""
-        result = self.agas.fail_locality(locality)
+    def fail_locality(self, locality: int,
+                      evacuate: bool = True) -> dict[str, list[Gid]]:
+        """Kill a locality; AGAS evacuates its blocks (GIDs stay valid).
+
+        With ``evacuate=False`` — or when the failure outruns evacuation
+        (correlated multi-node loss) — the locality's blocks are *lost*:
+        their GIDs invalidate and only :meth:`apply_ownership`, fed from a
+        replicated checkpoint, can bring them back.
+        """
+        result = self.agas.fail_locality(locality, evacuate=evacuate)
+        by_gid = {gid: ip for ip, gid in self.gids.items()}
+        self._lost_blocks.update(by_gid[g] for g in result["lost"])
         self.registry.increment("/distmesh/localities-failed")
         return result
+
+    @property
+    def lost_blocks(self) -> set[tuple[int, int, int]]:
+        """Blocks whose only live copy died with a failed locality."""
+        return set(self._lost_blocks)
+
+    def apply_ownership(self, new_owner: dict[tuple[int, int, int], int]
+                        ) -> dict[str, int]:
+        """Remap block ownership for an elastic restart.
+
+        ``new_owner`` maps every block to its post-recovery locality
+        (typically ``slab_partition`` re-evaluated over the surviving
+        locality count).  Blocks whose components are still live are
+        migrated through AGAS as usual; blocks whose GIDs were *lost* with
+        their node are resurrected via
+        :meth:`~repro.runtime.agas.AgasRuntime.restore_component` — the
+        same GID, a fresh :class:`BlockComponent`, a surviving home.  The
+        block *data* is the recovery coordinator's problem (it restores
+        payloads from the replicated store); this method only fixes the
+        name service and the owner map the halo accounting charges
+        against.
+        """
+        migrated = restored = 0
+        for ip in sorted(new_owner):
+            loc = new_owner[ip]
+            gid = self.gids[ip]
+            try:
+                _, current = self.agas.resolve(gid)
+            except LocalityFailed:
+                comp = BlockComponent(self, ip)
+                self.agas.restore_component(comp, gid, loc)
+                self._components[ip] = comp
+                self._owner[ip] = loc
+                self._lost_blocks.discard(ip)
+                restored += 1
+                self.registry.increment("/distmesh/restorations")
+                continue
+            if current != loc:
+                self.agas.migrate(gid, loc)
+                migrated += 1
+        return {"migrated": migrated, "restored": restored}
 
     # -- halo exchange --------------------------------------------------------
 

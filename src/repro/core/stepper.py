@@ -196,15 +196,20 @@ class GuardedStepper:
         if max_halvings < 0:
             raise ValueError("max_halvings must be >= 0")
         self.mesh = mesh
+        self.registry = registry or default_registry()
         if checkpoints is None:
             from ..resilience.checkpoint import CheckpointManager
-            checkpoints = CheckpointManager(interval=checkpoint_interval)
+            # the injector is threaded into the store too: torn-write and
+            # checkpoint-corruption faults strike the very snapshots the
+            # guards roll back to, so restores exercise verified fallback
+            checkpoints = CheckpointManager(interval=checkpoint_interval,
+                                            registry=self.registry,
+                                            injector=fault_injector)
         self.checkpoints = checkpoints
         self.monitor = monitor or ConservationMonitor()
         self.injector = fault_injector
         self.max_restores = max_restores
         self.max_halvings = max_halvings
-        self.registry = registry or default_registry()
         self.restores = 0
         self.rejected = 0
         self.halvings = 0

@@ -27,13 +27,17 @@ from .faults import (FaultInjector, InjectedFault, SimulationFault,
                      TransientActionFault)
 from .retry import (DEFAULT_RETRY_POLICY, NETWORK_RETRY_POLICY,
                     ResilientParcelSender, RetryBudgetExhausted, RetryPolicy)
-from .checkpoint import CheckpointError, CheckpointManager, MeshCheckpoint
+from .checkpoint import (CheckpointError, CheckpointManager, MeshCheckpoint,
+                         block_checksum)
+from .durability import (BlockRecord, BuddyReplicatedStore, ManifestRecord,
+                         RecoveryCoordinator, RecoveryReport)
 from .supervisor import DEFAULT_TASK_RETRIES, SupervisedEngine
 from .health import (DEFAULT_HEARTBEAT_INTERVAL_S, DEFAULT_PHI_THRESHOLD,
                      FailureDetector)
 from .chaos import ChaosConfig, ChaosResult, run_chaos_merger
 from .distrun import (DistributedMergerConfig, DistributedMergerResult,
-                      run_distributed_merger)
+                      RecoveryMergerConfig, RecoveryMergerResult,
+                      run_distributed_merger, run_recovery_merger)
 
 __all__ = [
     "FaultInjector", "InjectedFault", "SimulationFault",
@@ -41,10 +45,14 @@ __all__ = [
     "RetryPolicy", "RetryBudgetExhausted", "ResilientParcelSender",
     "DEFAULT_RETRY_POLICY", "NETWORK_RETRY_POLICY",
     "CheckpointError", "CheckpointManager", "MeshCheckpoint",
+    "block_checksum",
+    "BlockRecord", "ManifestRecord", "BuddyReplicatedStore",
+    "RecoveryCoordinator", "RecoveryReport",
     "SupervisedEngine", "DEFAULT_TASK_RETRIES",
     "FailureDetector", "DEFAULT_PHI_THRESHOLD",
     "DEFAULT_HEARTBEAT_INTERVAL_S",
     "ChaosConfig", "ChaosResult", "run_chaos_merger",
     "DistributedMergerConfig", "DistributedMergerResult",
     "run_distributed_merger",
+    "RecoveryMergerConfig", "RecoveryMergerResult", "run_recovery_merger",
 ]

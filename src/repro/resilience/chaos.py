@@ -72,6 +72,13 @@ class ChaosConfig:
     # -- timestep faults --
     fail_at_steps: tuple[int, ...] = (1,)
     corrupt_at_steps: tuple[int, ...] = (2,)
+    # -- checkpoint-store faults (save indices; the stepper saves at
+    #    step 0 and then after every step) --
+    #: the save the first rollback would restore is silently corrupted,
+    #: so that restore must fall back a generation
+    corrupt_ckpt_saves: tuple[int, ...] = (1,)
+    #: a later save is torn mid-write (staged, never committed)
+    torn_ckpt_saves: tuple[int, ...] = (2,)
     # -- silent locality failure --
     n_localities: int = 4
     silence_locality: int = 3
@@ -153,13 +160,16 @@ class ChaosResult:
             "injected: "
             f"loss={net['loss']} delay={net['delay']} "
             f"action={inj['action']} step={inj['step']} "
-            f"corruption={inj['corruption']}, "
+            f"corruption={inj['corruption']} "
+            f"torn-ckpt={inj['torn-write']} "
+            f"corrupt-ckpt={inj['ckpt-corruption']}, "
             f"silenced localities={c('/resilience/health/silenced')}",
             "recovered: "
             f"parcel-retries={c('/resilience/parcels/retries')} "
             f"task-retries={c('/resilience/tasks/retried')} "
             f"restores={c('/resilience/steps/restores')} "
-            f"rejected-steps={c('/resilience/steps/rejected')}",
+            f"rejected-steps={c('/resilience/steps/rejected')} "
+            f"ckpt-fallbacks={c('/resilience/ckpt/fallback')}",
             "detected : "
             f"dead-localities={c('/resilience/health/detected')} "
             f"evacuated-components={c('/resilience/health/evacuated')} "
@@ -209,7 +219,9 @@ def run_chaos_merger(config: ChaosConfig | None = None,
         cfg.seed, action_fault_rate=cfg.action_fault_rate,
         max_action_faults=cfg.max_action_faults,
         fail_at_steps=cfg.fail_at_steps,
-        corrupt_at_steps=cfg.corrupt_at_steps, registry=registry)
+        corrupt_at_steps=cfg.corrupt_at_steps,
+        corrupt_ckpt_at_saves=cfg.corrupt_ckpt_saves,
+        torn_write_at_saves=cfg.torn_ckpt_saves, registry=registry)
     net_injector = FaultInjector(
         cfg.seed + 1, loss_rate=cfg.loss_rate, delay_rate=cfg.delay_rate,
         max_delay=cfg.max_delay, max_losses=cfg.max_losses,

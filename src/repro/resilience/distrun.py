@@ -40,11 +40,15 @@ import numpy as np
 from ..runtime.counters import CounterRegistry
 from ..simulator.events import EventQueue
 from .checkpoint import CheckpointManager
+from .durability import RecoveryCoordinator, RecoveryReport
+from .faults import FaultInjector
 from .health import FailureDetector
 from .supervisor import SupervisedEngine
 
 __all__ = ["DistributedMergerConfig", "DistributedMergerResult",
-           "run_distributed_merger"]
+           "run_distributed_merger",
+           "RecoveryMergerConfig", "RecoveryMergerResult",
+           "run_recovery_merger"]
 
 
 @dataclass(frozen=True)
@@ -244,3 +248,281 @@ def run_distributed_merger(config: DistributedMergerConfig | None = None,
         registry=registry, detector=detector, checkpoints=checkpoints,
         killed_locality=cfg.kill_locality if state["killed"] else None,
         evacuated=state["evacuated"], lost=state["lost"])
+
+
+# ---------------------------------------------------------------------------
+# durable recovery demo: correlated multi-locality failure + elastic restart
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RecoveryMergerConfig:
+    """Knobs of the durable-recovery run; defaults are the CI soak settings.
+
+    The scripted disaster: ``kill_localities`` go silent *together* after
+    ``kill_after_steps`` steps — more concurrent failures than the
+    evacuation capacity absorbs, so their blocks' GIDs are lost, not
+    evacuated — and the newest checkpoint at kill time was silently
+    corrupted on its way to the store (``corrupt_save_index``).  The run
+    must roll back to the newest *verified* generation, restart
+    elastically on the survivors, and still finish byte-identical.
+
+    The default victims ``(1, 3)`` are deliberately non-adjacent: buddy
+    replication places each block's copy on the *next* surviving
+    locality, so losing an owner together with its buddy (an adjacent
+    pair) destroys both copies — the unrecoverable case, like losing
+    both halves of a RAID mirror.
+    """
+
+    M: int = 16
+    scf_iters: int = 12
+    steps: int = 3
+    t_end: float = 1.0
+    # -- distribution --
+    n_localities: int = 4
+    port: str = "libfabric"
+    reorder_seed: int | None = 1309
+    # -- the correlated failure --
+    kill_localities: tuple[int, ...] = (1, 3)
+    kill_after_steps: int = 2
+    evacuation_capacity: int = 1
+    # -- the corrupted checkpoint (save index; evolve saves at step 0,
+    #    then after every step, so index 1 is the newest at kill time) --
+    corrupt_save_index: int | None = 1
+    #: torn-write save indices (none by default; the soak test adds some)
+    torn_save_indices: tuple[int, ...] = ()
+    fault_seed: int = 1309
+    # -- degraded network while recovering (chaos soak) --
+    loss_rate: float = 0.0
+    delay_rate: float = 0.0
+    # -- detection --
+    heartbeat_interval: float = 0.25
+    phi_threshold: float = 3.0
+    sim_seconds_per_step: float = 2.0
+    detect_horizon: float = 64.0
+    # -- supervision --
+    checkpoint_interval: int = 1
+    keep_generations: int = 4
+    n_cpu_workers: int = 2
+
+
+@dataclass
+class RecoveryMergerResult:
+    """Everything the recovery acceptance test asserts and CI reports."""
+
+    config: RecoveryMergerConfig
+    reference: object
+    dist: object
+    ref_monitor: object
+    dist_monitor: object
+    registry: CounterRegistry
+    detector: FailureDetector
+    coordinator: RecoveryCoordinator
+    injector: FaultInjector
+    report: RecoveryReport | None = None
+    killed: list = field(default_factory=list)
+    escalations: int = 0
+
+    @property
+    def bitwise_identical(self) -> bool:
+        return np.array_equal(self.reference.gather_interior(),
+                              self.dist.gather_interior())
+
+    @property
+    def reports_identical(self) -> bool:
+        return self.ref_monitor.report() == self.dist_monitor.report()
+
+    @property
+    def counters_reconcile(self) -> bool:
+        """Halo sets==gets, parcelport tallies match the transport, and
+        the checkpoint-store counters tell the scripted story exactly:
+        every committed save was verified-or-skipped coherently."""
+        snap = self.registry.snapshot()
+        sets = snap.get("/distmesh/halo/sets", 0.0)
+        gets = snap.get("/distmesh/halo/gets", 0.0)
+        if not (sets == gets and sets > 0 and self.dist.transport.reconciles()):
+            return False
+        # ckpt ledger: exactly one global verification per rollback, and
+        # every generation passed over on the way is tallied as fallback
+        rollbacks = snap.get("/recovery/global-rollbacks", 0.0)
+        verified = snap.get("/resilience/ckpt/verified", 0.0)
+        return verified >= rollbacks >= 1.0
+
+    def summary(self) -> str:
+        cfg = self.config
+        snap = self.registry.snapshot()
+        st = self.dist.transport.stats
+        rep = self.report
+        lines = [
+            "durable recovery outcome",
+            "------------------------",
+            f"steps completed         : {self.dist.steps}",
+            f"bitwise identical state : {self.bitwise_identical}",
+            f"identical drift report  : {self.reports_identical}",
+            f"counters reconcile      : {self.counters_reconcile}",
+            "",
+            f"killed / detected       : {self.killed} / "
+            f"{sorted(self.detector.declared_failed)}",
+            f"global rollback         : "
+            f"{rep.summary() if rep is not None else '(not triggered)'}",
+            f"task escalations        : {self.escalations}",
+            "",
+            "checkpoint store",
+            f"  saves / replicas      : "
+            f"{snap.get('/resilience/checkpoint/saves', 0):.0f} / "
+            f"{snap.get('/resilience/ckpt/replicas', 0):.0f}",
+            f"  verified / corrupt    : "
+            f"{snap.get('/resilience/ckpt/verified', 0):.0f} / "
+            f"{snap.get('/resilience/ckpt/corrupt', 0):.0f}",
+            f"  fallbacks / torn      : "
+            f"{snap.get('/resilience/ckpt/fallback', 0):.0f} / "
+            f"{snap.get('/resilience/ckpt/torn', 0):.0f}",
+            f"  replicas lost         : "
+            f"{snap.get('/resilience/ckpt/replicas-lost', 0):.0f}",
+            f"  blocks re-fetched     : "
+            f"{snap.get('/recovery/blocks-fetched', 0):.0f} "
+            f"({snap.get('/recovery/bytes-fetched', 0):.0f} B)",
+            "",
+            f"halo traffic ({self.dist.transport.port.name})",
+            f"  local  : {st.local_msgs} msgs, {st.local_bytes} B",
+            f"  remote : {st.remote_msgs} msgs, {st.remote_bytes} B "
+            f"({st.reordered} delivered out of order)",
+            f"   1-sided: {st.onesided_msgs} msgs, {st.onesided_bytes} B",
+            f"  path    : eager={st.eager} rendezvous={st.rendezvous} "
+            f"rma={st.rma}",
+        ]
+        return "\n".join(lines)
+
+
+def run_recovery_merger(config: RecoveryMergerConfig | None = None,
+                        registry: CounterRegistry | None = None
+                        ) -> RecoveryMergerResult:
+    """Run the reference and the durably-checkpointed distributed merger
+    through a correlated multi-locality failure.
+
+    The distributed run checkpoints every step through a
+    :class:`~repro.resilience.checkpoint.CheckpointManager` whose commits
+    are buddy-replicated by a :class:`RecoveryCoordinator`; a seeded
+    :class:`FaultInjector` corrupts the newest record at kill time.  When
+    the victims go silent the phi-accrual detector declares them (no
+    evacuation — the failure exceeds capacity, so their GIDs are *lost*),
+    the coordinator rolls everything back to the newest verified
+    generation, remaps ownership over the survivors, resurrects the lost
+    GIDs, and the run replays to completion.
+    """
+    from ..core.distmesh import DistBlockMesh
+    from ..core.exec import ExecutionEngine
+    from ..core.mesh import SUBGRID_N, BlockMesh
+    from ..core.scenario import v1309_binary
+    from ..core.stepper import ConservationMonitor, evolve
+    from ..runtime.scheduler import WorkStealingScheduler
+
+    cfg = config or RecoveryMergerConfig()
+    registry = registry if registry is not None else CounterRegistry()
+    if cfg.M % SUBGRID_N:
+        raise ValueError(f"M={cfg.M} is not a multiple of the sub-grid "
+                         f"edge {SUBGRID_N}")
+    if len(set(cfg.kill_localities)) != len(cfg.kill_localities):
+        raise ValueError("kill_localities must be distinct")
+    if len(cfg.kill_localities) >= cfg.n_localities:
+        raise ValueError("at least one locality must survive")
+    bpe = cfg.M // SUBGRID_N
+
+    src = v1309_binary(M=cfg.M, scf_iters=cfg.scf_iters)
+    mesh_kwargs = dict(domain=src.domain, origin=src.origin,
+                       options=src.options, bc=src.bc, self_gravity=True)
+
+    reference = BlockMesh(bpe, **mesh_kwargs)
+    reference.load_interior(src.interior)
+    dist = DistBlockMesh(bpe, n_localities=cfg.n_localities, port=cfg.port,
+                         reorder_seed=cfg.reorder_seed, registry=registry,
+                         **mesh_kwargs)
+    dist.load_interior(src.interior)
+    if not np.array_equal(reference.gather_interior(),
+                          dist.gather_interior()):
+        raise RuntimeError("reference and distributed initial data differ")
+
+    ref_monitor = evolve(reference, t_end=cfg.t_end, max_steps=cfg.steps)
+
+    # the adversary: silent corruption of scheduled checkpoint saves
+    # (plus optional torn writes and degraded-network loss/delay)
+    injector = FaultInjector(
+        cfg.fault_seed,
+        corrupt_ckpt_at_saves=((cfg.corrupt_save_index,)
+                               if cfg.corrupt_save_index is not None else ()),
+        torn_write_at_saves=cfg.torn_save_indices,
+        loss_rate=cfg.loss_rate, delay_rate=cfg.delay_rate,
+        registry=registry)
+
+    events = EventQueue()
+    # evacuate=False: the scripted failure is a *correlated* one, beyond
+    # the single-locality evacuation capacity — AGAS must lose the
+    # victims' GIDs so the durable-recovery path (restore_component) is
+    # what brings them back
+    detector = FailureDetector(
+        dist.agas, events, heartbeat_interval=cfg.heartbeat_interval,
+        phi_threshold=cfg.phi_threshold, evacuate=False, registry=registry)
+    detector.start()
+    checkpoints = CheckpointManager(interval=cfg.checkpoint_interval,
+                                    keep=cfg.keep_generations,
+                                    registry=registry, injector=injector)
+    dist_monitor = ConservationMonitor()
+    coordinator = RecoveryCoordinator(
+        dist, checkpoints, evacuation_capacity=cfg.evacuation_capacity,
+        registry=registry)
+
+    state = {"killed": False, "report": None, "escalations": 0}
+
+    def escalate(exc, args, attempt) -> None:
+        state["escalations"] += 1
+
+    def per_step(mesh) -> None:
+        events.run(until=events.now + cfg.sim_seconds_per_step)
+        if (state["killed"] or not cfg.kill_localities
+                or mesh.steps < cfg.kill_after_steps):
+            return
+        state["killed"] = True
+        victims = list(cfg.kill_localities)
+        victim_blocks = [ip for ip, loc in mesh.owners().items()
+                         if loc in victims]
+        # the correlated failure: every victim goes silent in the same
+        # heartbeat window; the detector must find them all on its own
+        for victim in victims:
+            detector.silence(victim)
+        horizon = 0.0
+        while (not all(v in detector.declared_failed for v in victims)
+               and horizon < cfg.detect_horizon):
+            events.run(until=events.now + 1.0)
+            horizon += 1.0
+        missing = [v for v in victims if v not in detector.declared_failed]
+        if missing:
+            raise RuntimeError(
+                f"localities {missing} silent but never declared failed "
+                f"within {cfg.detect_horizon}s of event time")
+        # dead memory: the victims' block arrays and checkpoint shards
+        # are gone; only the surviving replicas can restore them
+        for ip in victim_blocks:
+            mesh.blocks[ip][...] = np.nan
+        if not coordinator.needs_global_recovery(len(victims)):
+            raise RuntimeError("scripted failure should exceed evacuation "
+                               "capacity; check the config")
+        state["report"] = coordinator.recover(dist_monitor)
+
+    with WorkStealingScheduler(cfg.n_cpu_workers) as sched:
+        engine = SupervisedEngine(
+            ExecutionEngine(scheduler=sched, registry=registry),
+            escalate=escalate, registry=registry)
+        dist.engine = engine
+        evolve(dist, t_end=cfg.t_end, max_steps=cfg.steps,
+               monitor=dist_monitor, callback=per_step,
+               checkpoints=checkpoints)
+        engine.synchronize()
+    detector.stop()
+    dist.publish_counters(registry)
+
+    return RecoveryMergerResult(
+        config=cfg, reference=reference, dist=dist,
+        ref_monitor=ref_monitor, dist_monitor=dist_monitor,
+        registry=registry, detector=detector, coordinator=coordinator,
+        injector=injector, report=state["report"],
+        killed=list(cfg.kill_localities) if state["killed"] else [],
+        escalations=state["escalations"])

@@ -20,7 +20,15 @@ story: a :class:`FaultInjector` that, driven by a seeded RNG, injects
   (:meth:`FaultInjector.maybe_step_fault`);
 * **whole-locality failure** — handled by
   :meth:`repro.runtime.agas.AgasRuntime.fail_locality`; the injector only
-  schedules *when* (:meth:`FaultInjector.locality_failure_due`).
+  schedules *when* (:meth:`FaultInjector.locality_failure_due`);
+* **torn checkpoint writes** — a checkpoint save that stages only part of
+  its block records and never commits its manifest, as a crash mid-write
+  leaves on a real filesystem (:meth:`FaultInjector.torn_write_due`,
+  consulted by :class:`repro.resilience.checkpoint.CheckpointManager`);
+* **checkpoint corruption** — a committed checkpoint record whose payload
+  bytes are silently damaged after the fact (bit rot, a bad DMA):
+  detectable only because records carry content checksums
+  (:meth:`FaultInjector.checkpoint_corruption_due`).
 
 Every draw comes from one ``random.Random(seed)`` stream behind a lock, so
 a fixed seed reproduces the exact same fault schedule — the property the
@@ -88,6 +96,13 @@ class FaultInjector:
     fail_locality_at:
         ``(step, locality)``: :meth:`locality_failure_due` returns the
         locality once when asked about that step.
+    torn_write_at_saves / torn_write_rate:
+        Checkpoint save indices (0-based, each fires once) at which the
+        write is torn — partial records staged, manifest never committed —
+        plus an optional Bernoulli rate on every other save.
+    corrupt_ckpt_at_saves / ckpt_corruption_rate:
+        Checkpoint save indices at which the committed record's payload is
+        silently damaged after the write, plus an optional rate.
     max_losses / max_action_faults / max_step_faults:
         Budgets after which that fault class stops firing (``None`` means
         unlimited).  Finite budgets make faults transient by construction.
@@ -102,14 +117,22 @@ class FaultInjector:
                  fail_at_steps: tuple[int, ...] = (),
                  corrupt_at_steps: tuple[int, ...] = (),
                  fail_locality_at: tuple[int, int] | None = None,
+                 torn_write_at_saves: tuple[int, ...] = (),
+                 torn_write_rate: float = 0.0,
+                 corrupt_ckpt_at_saves: tuple[int, ...] = (),
+                 ckpt_corruption_rate: float = 0.0,
                  max_losses: int | None = None,
                  max_action_faults: int | None = None,
                  max_step_faults: int | None = None,
+                 max_torn_writes: int | None = None,
+                 max_ckpt_corruptions: int | None = None,
                  registry: CounterRegistry | None = None):
         for name, rate in (("loss_rate", loss_rate),
                            ("delay_rate", delay_rate),
                            ("action_fault_rate", action_fault_rate),
-                           ("step_fault_rate", step_fault_rate)):
+                           ("step_fault_rate", step_fault_rate),
+                           ("torn_write_rate", torn_write_rate),
+                           ("ckpt_corruption_rate", ckpt_corruption_rate)):
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
         self.seed = seed
@@ -118,17 +141,26 @@ class FaultInjector:
         self.max_delay = max_delay
         self.action_fault_rate = action_fault_rate
         self.step_fault_rate = step_fault_rate
+        self.torn_write_rate = torn_write_rate
+        self.ckpt_corruption_rate = ckpt_corruption_rate
         self._fail_at_steps = set(fail_at_steps)
         self._corrupt_at_steps = set(corrupt_at_steps)
         self._fail_locality_at = fail_locality_at
+        self._torn_write_at_saves = set(torn_write_at_saves)
+        self._corrupt_ckpt_at_saves = set(corrupt_ckpt_at_saves)
+        #: checkpoint saves observed so far (indexes the *_at_saves sets)
+        self._saves_seen = 0
         self._budgets = {"loss": max_losses,
                          "action": max_action_faults,
-                         "step": max_step_faults}
+                         "step": max_step_faults,
+                         "torn-write": max_torn_writes,
+                         "ckpt-corruption": max_ckpt_corruptions}
         self.registry = registry or default_registry()
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
         self.injected = {"loss": 0, "delay": 0, "action": 0, "step": 0,
-                         "corruption": 0, "locality": 0}
+                         "corruption": 0, "locality": 0,
+                         "torn-write": 0, "ckpt-corruption": 0}
 
     # -- internals ----------------------------------------------------------
 
@@ -208,6 +240,51 @@ class FaultInjector:
             self.injected["locality"] += 1
             self.registry.increment("/resilience/injected/locality")
             return due[1]
+
+    # -- checkpoint-store path ----------------------------------------------
+
+    def _ckpt_fault_due(self, kind: str, scheduled: set[int],
+                        rate: float, save_index: int) -> bool:
+        """Shared draw for the two checkpoint-store fault classes."""
+        if save_index in scheduled:
+            scheduled.discard(save_index)
+            self.injected[kind] += 1
+            self.registry.increment(f"/resilience/injected/{kind}")
+            return True
+        return self._fire(kind, rate)
+
+    def torn_write_due(self) -> bool:
+        """True when the current checkpoint save should be torn.
+
+        A torn save stages only part of its block records and never
+        commits its manifest — the caller
+        (:class:`repro.resilience.checkpoint.CheckpointManager` or the
+        buddy-replicated store) applies the actual truncation, so the
+        injector stays store-agnostic.  Each call consumes one save index
+        for the ``*_at_saves`` schedules.
+        """
+        with self._lock:
+            index = self._saves_seen
+            due = self._ckpt_fault_due("torn-write", self._torn_write_at_saves,
+                                       self.torn_write_rate, index)
+            if due:
+                # a torn save is *also* this save for scheduling purposes
+                self._saves_seen += 1
+            return due
+
+    def checkpoint_corruption_due(self) -> bool:
+        """True when the just-committed checkpoint record should rot.
+
+        Fired once per save (after :meth:`torn_write_due` answered False);
+        the store damages the stored payload bytes so only a content
+        checksum can tell.
+        """
+        with self._lock:
+            index = self._saves_seen
+            self._saves_seen += 1
+            return self._ckpt_fault_due(
+                "ckpt-corruption", self._corrupt_ckpt_at_saves,
+                self.ckpt_corruption_rate, index)
 
     # -- introspection ------------------------------------------------------
 

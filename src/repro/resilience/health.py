@@ -24,10 +24,23 @@ silent node is modelled by :meth:`FailureDetector.silence` — the
 locality's future heartbeats stop being scheduled, and nothing else about
 it changes, which is precisely what the detector must cope with.
 
+Declaring a locality failed is **final**: real networks deliver late —
+a heartbeat emitted *before* the node died (or delayed in a congested
+switch) can arrive *after* the detector suspected the node and AGAS
+evacuated its components.  Acting on that stale beat would "flap" the
+locality back to life with ownership it no longer has — the classic
+split-brain.  :meth:`FailureDetector.receive_heartbeat` is therefore a
+one-way gate: beats for a declared locality are dropped (tallied under
+``/resilience/health/stale-heartbeats``), never refreshing its liveness
+and never touching AGAS; the ordering regression test drives exactly the
+suspect → evacuate → stale-heartbeat sequence.
+
 Counters: ``/resilience/health/heartbeats``,
 ``/resilience/health/detected``, ``/resilience/health/silenced``,
-``/resilience/health/evacuated`` and a ``/resilience/health/max-phi``
-gauge (largest suspicion level ever observed for a live locality).
+``/resilience/health/evacuated``,
+``/resilience/health/stale-heartbeats`` and a
+``/resilience/health/max-phi`` gauge (largest suspicion level ever
+observed for a live locality).
 """
 
 from __future__ import annotations
@@ -147,6 +160,32 @@ class FailureDetector:
         self._silenced.add(locality)
         self.registry.increment("/resilience/health/silenced")
         trace.instant("locality-silenced", "resilience", locality=locality)
+
+    def receive_heartbeat(self, locality: int) -> bool:
+        """An out-of-band heartbeat arrived (possibly delayed in flight).
+
+        Returns True when it was accepted (liveness refreshed).  The
+        one-way gate: once ``locality`` has been **declared** failed —
+        components already evacuated or invalidated through AGAS — a
+        late beat is *stale* by definition and must not resurrect
+        anything: it is dropped, tallied, and AGAS is never consulted.
+        A merely *silenced* (or suspected-but-undeclared) locality is
+        different: its beat arrives before the verdict, so it counts
+        like any scheduled one.
+        """
+        if locality not in self._intervals:
+            return False
+        if locality in self._declared:
+            self.registry.increment("/resilience/health/stale-heartbeats")
+            trace.instant("stale-heartbeat", "resilience",
+                          locality=locality)
+            return False
+        now = self.events.now
+        last = self._last_beat.get(locality, now)
+        self._intervals[locality].append(max(now - last, 1e-12))
+        self._last_beat[locality] = now
+        self.registry.increment("/resilience/health/heartbeats")
+        return True
 
     # -- event handlers ------------------------------------------------------
 

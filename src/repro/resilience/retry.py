@@ -11,7 +11,12 @@ classic acknowledged-datagram one:
   retried — delivery is at-least-once, like HPX parcel resends);
 * between attempts the sender backs off exponentially
   (``base_backoff * backoff_factor**(attempt-1)``, capped at
-  ``max_backoff``);
+  ``max_backoff``) — optionally with seeded **decorrelated jitter**
+  (``jitter=True``: wait ~ U(base, 3 * previous wait), capped), so a
+  congestion event that fails many senders at once cannot make them all
+  re-fire into the same degraded-network window in lockstep; each
+  sender's jitter stream is seeded (from ``jitter_seed`` or its
+  injector's seed), keeping the schedule fully deterministic;
 * a :class:`~repro.resilience.faults.TransientActionFault` surfaced by the
   action's future also counts as a failed attempt and is retried;
 * when the attempt budget is exhausted the caller gets an **exceptional
@@ -30,6 +35,7 @@ with the attempt count.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass
 from typing import Callable
@@ -61,6 +67,11 @@ class RetryPolicy:
     backoff_factor: float = 2.0
     max_backoff: float = 0.1
     ack_timeout: float = 0.25
+    #: decorrelated jitter (AWS-style): each wait is drawn uniformly from
+    #: ``[base_backoff, 3 * previous wait]``, capped at ``max_backoff``.
+    #: Spreads synchronized retry storms; the draw stream lives in the
+    #: sender (seeded), so the policy object stays shareable and frozen.
+    jitter: bool = False
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -69,9 +80,25 @@ class RetryPolicy:
             raise ValueError("backoff_factor must be >= 1")
 
     def backoff(self, attempt: int) -> float:
-        """Wait before retrying after failed attempt number ``attempt``."""
+        """Deterministic wait after failed attempt number ``attempt``
+        (the no-jitter schedule, and the jittered schedule's anchor)."""
         return min(self.base_backoff * self.backoff_factor ** (attempt - 1),
                    self.max_backoff)
+
+    def jittered_backoff(self, previous: float,
+                         rng: random.Random) -> float:
+        """One decorrelated-jitter draw: ``min(cap, U(base, 3 * prev))``.
+
+        ``previous`` is the last wait (use ``base_backoff`` before the
+        first retry).  Growth is still geometric *in expectation* (~2x
+        per retry, like ``backoff_factor=2``), but two senders whose
+        failures coincide draw from different seeded streams and land in
+        different windows — the desynchronization property the
+        regression test asserts.
+        """
+        high = max(previous * 3.0, self.base_backoff)
+        return min(self.max_backoff,
+                   rng.uniform(self.base_backoff, high))
 
     # -- expectation helpers (used by the scaling model) --------------------
 
@@ -121,18 +148,28 @@ class ResilientParcelSender:
     sleep:
         Clock used for backoff/delay waits; tests pass a no-op or virtual
         clock.  Defaults to :func:`time.sleep`.
+    jitter_seed:
+        Seed for the decorrelated-jitter stream (only drawn from when
+        ``policy.jitter`` is set).  Defaults to the injector's seed when
+        one is supplied, so a seeded fault schedule fixes the jitter
+        schedule too; distinct senders should get distinct seeds — that
+        is what desynchronizes their retry storms.
     """
 
     def __init__(self, handler: ParcelHandler,
                  injector: FaultInjector | None = None,
                  policy: RetryPolicy = DEFAULT_RETRY_POLICY,
                  registry: CounterRegistry | None = None,
-                 sleep: Callable[[float], None] | None = None):
+                 sleep: Callable[[float], None] | None = None,
+                 jitter_seed: int | None = None):
         self.handler = handler
         self.injector = injector
         self.policy = policy
         self.registry = registry or default_registry()
         self._sleep = time.sleep if sleep is None else sleep
+        if jitter_seed is None and injector is not None:
+            jitter_seed = injector.seed
+        self._jitter_rng = random.Random(jitter_seed)
 
     # -- delivery -----------------------------------------------------------
 
@@ -149,6 +186,7 @@ class ResilientParcelSender:
         r.increment("/resilience/parcels/sent")
         t0 = trace.begin() if trace.TRACING else 0.0
         last_failure = "loss"
+        prev_wait = policy.base_backoff
         for attempt in range(1, policy.max_attempts + 1):
             r.increment("/resilience/parcels/attempts")
             fut = self._attempt(parcel)
@@ -170,7 +208,12 @@ class ResilientParcelSender:
                                        action=parcel.action, attempts=attempt)
                     return fut
             if attempt < policy.max_attempts:
-                wait = policy.backoff(attempt)
+                if policy.jitter:
+                    wait = policy.jittered_backoff(prev_wait,
+                                                   self._jitter_rng)
+                    prev_wait = wait
+                else:
+                    wait = policy.backoff(attempt)
                 r.increment("/resilience/parcels/retries")
                 r.increment("/resilience/backoff-seconds", wait)
                 if trace.TRACING:

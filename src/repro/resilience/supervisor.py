@@ -33,9 +33,18 @@ task execution (distinct from the receive-side faults the parcel layer
 injects).  With a finite ``max_action_faults`` budget every injected
 fault is transient by construction.
 
+Re-execution is the *local* recovery tier.  A failure the supervisor
+cannot retry away — a :class:`~repro.runtime.agas.LocalityFailed` from a
+dead node, or a transient budget exhausted — is **escalated**: the
+optional ``escalate`` callback fires (before the exception surfaces
+through the task's future) so a
+:class:`~repro.resilience.durability.RecoveryCoordinator` can decide
+whether the run needs a global rollback rather than another retry.
+
 Counters: ``/resilience/tasks/submitted``, ``/resilience/tasks/retried``,
 ``/resilience/tasks/recovered`` (tasks that ultimately succeeded after at
-least one retry) and ``/resilience/tasks/gave-up``.
+least one retry), ``/resilience/tasks/gave-up`` and
+``/resilience/tasks/escalated``.
 """
 
 from __future__ import annotations
@@ -76,6 +85,13 @@ class SupervisedEngine:
         Exception types worth re-executing; anything else (application
         errors, cancelled futures, failed localities) surfaces unchanged
         on the first attempt.
+    escalate:
+        Optional ``callback(exc, args, attempt)`` invoked for every
+        *permanent* failure (non-transient, or transient budget
+        exhausted) before it surfaces through the task's future — the
+        hand-off point to a global recovery layer.  Escalation observes;
+        it must not raise (a raising callback is tallied under
+        ``/resilience/tasks/escalation-errors`` and otherwise ignored).
     """
 
     def __init__(self, engine: ExecutionEngine | None = None, *,
@@ -84,6 +100,8 @@ class SupervisedEngine:
                  max_retries: int = DEFAULT_TASK_RETRIES,
                  transient: tuple[type[BaseException], ...] = (
                      TransientActionFault, FutureTimeout),
+                 escalate: Callable[[BaseException, tuple, int], None]
+                     | None = None,
                  registry: CounterRegistry | None = None):
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
@@ -96,6 +114,7 @@ class SupervisedEngine:
         self.injector = injector
         self.max_retries = max_retries
         self.transient = transient
+        self.escalate = escalate
         self.registry = registry or engine.registry or default_registry()
 
     # -- engine surface ------------------------------------------------------
@@ -185,4 +204,15 @@ class SupervisedEngine:
             r.increment("/resilience/tasks/gave-up")
             if trace.TRACING:
                 trace.instant("task-gave-up", "resilience", attempt=attempt)
+        if self.escalate is not None:
+            r.increment("/resilience/tasks/escalated")
+            if trace.TRACING:
+                trace.instant("task-escalated", "resilience",
+                              attempt=attempt, exc=type(exc).__name__)
+            try:
+                self.escalate(exc, args, attempt)
+            except BaseException:
+                # the task's future must still complete with the original
+                # failure; a broken escalation path may not eat it
+                r.increment("/resilience/tasks/escalation-errors")
         promise.set_exception(exc)

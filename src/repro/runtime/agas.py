@@ -326,6 +326,35 @@ class AgasRuntime:
             self._failed.discard(locality)
         self.registry.increment("/resilience/agas/localities-recovered")
 
+    def restore_component(self, component: Component, gid: Gid,
+                          locality: int) -> Gid:
+        """Resurrect a *lost* GID from durable state onto ``locality``.
+
+        Evacuation (:meth:`fail_locality` with ``evacuate=True``) keeps
+        GIDs valid because the component's memory survives; when the last
+        copy died with its node the GID lands in ``_lost`` and only a
+        recovery layer holding a replicated checkpoint can bring it back.
+        This is that layer's hook: it re-binds the *same* GID — the AGAS
+        promise that names outlive placement extends across restarts — to
+        a freshly rebuilt component on a surviving locality.  Restoring a
+        GID that is still live, or that was never lost, is an error.
+        """
+        self._check_locality(locality)
+        self._check_alive(locality)
+        with self._lock:
+            if gid in self._home:
+                raise AgasError(f"{gid} is still live; restore would alias it")
+            if gid not in self._lost:
+                raise AgasError(f"{gid} was never lost; nothing to restore")
+            del self._lost[gid]
+            self._objects[gid] = component
+            self._home[gid] = locality
+        component.gid = gid
+        self.registry.increment("/resilience/agas/components-restored")
+        trace.instant("component-restored", "resilience",
+                      gid=repr(gid), locality=locality)
+        return gid
+
     @property
     def failed_localities(self) -> set[int]:
         with self._lock:

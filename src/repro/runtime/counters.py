@@ -37,6 +37,7 @@ KNOWN_SECTIONS = frozenset({
     "futures",     # future/continuation dispatch (runtime/future.py)
     "hydro",       # hydrodynamics kernels (core/mesh.py)
     "parcels",     # parcelport traffic (network/parcelport.py)
+    "recovery",    # global rollback / elastic restart (resilience/durability.py)
     "resilience",  # faults, retry, checkpoints, supervision
     "sanitize",    # sanitizer findings (sanitize/state.py)
     "simulator",   # distributed-run simulator (simulator/distributed.py)

@@ -294,6 +294,44 @@ def test_repro008_nested_def_with_own_out_param_fires():
     assert [v.rule for v in vs] == ["REPRO008"]
 
 
+# -- REPRO009: checkpoint records bypassing the verified store ------------
+
+def test_repro009_mesh_checkpoint_construction_outside_store():
+    vs = _lint("cp = MeshCheckpoint(step=3, time=0.1, U=mesh.U.copy())")
+    assert [v.rule for v in vs] == ["REPRO009"]
+    assert "checksum stamping" in vs[0].message
+    # the qualified spelling counts too
+    vs = _lint("cp = checkpoint.MeshCheckpoint(step=0, time=0.0, U=U)")
+    assert [v.rule for v in vs] == ["REPRO009"]
+
+
+def test_repro009_checkpoint_list_mutation_fires():
+    for src in ("mgr._checkpoints.append(cp)",
+                "mgr._checkpoints.pop()",
+                "mgr._checkpoints.clear()",
+                "mgr._checkpoints = [cp]",
+                "mgr._checkpoints[0] = cp",
+                "mgr._checkpoints += [cp]",
+                "del mgr._checkpoints[:-1]"):
+        vs = _lint(src)
+        assert [v.rule for v in vs] == ["REPRO009"], src
+
+
+def test_repro009_store_module_and_reads_are_clean():
+    # the verified store itself implements the protocol
+    assert _lint("""
+        cp = MeshCheckpoint(step=0, time=0.0, U=U)
+        self._checkpoints.append(cp)
+        del self._checkpoints[:-self.keep]
+    """, rel="repro/resilience/checkpoint.py") == []
+    # read-only access is fine everywhere (tests inspect the store)
+    assert _lint("n = len(mgr._checkpoints)") == []
+    assert _lint("newest = mgr._checkpoints[-1].step") == []
+    # unrelated attributes with similar shape stay clean
+    assert _lint("mgr._records.append(x)") == []
+    assert _lint("mgr._checkpoint = cp") == []
+
+
 # -- syntax errors, repo cleanliness, CLI ---------------------------------
 
 def test_syntax_error_is_reported_not_raised():

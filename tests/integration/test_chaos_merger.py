@@ -84,8 +84,13 @@ class TestChaosMerger:
 
     def test_no_halo_parcel_lost(self, chaos):
         res, _snap = chaos
+        # every completed step broadcasts to all localities; replayed
+        # steps (rollbacks now fall back past the corrupted checkpoint
+        # generation) re-broadcast their generation, so the total is a
+        # whole number of full broadcasts, at least one per step
         expected = res.config.steps * res.config.n_localities
-        assert res.halo_acked == expected
+        assert res.halo_acked >= expected
+        assert res.halo_acked % res.config.n_localities == 0
         assert res.halo_failed == 0
         # every store holds every generation it was sent (the evacuated
         # one included — migration carried its state along)

@@ -1,0 +1,380 @@
+"""Durable recovery: buddy-replicated shards, global rollback, elastic
+restart — and every checkpoint-store fault class aimed at the manager."""
+
+import numpy as np
+import pytest
+
+from repro.core import (BlockMesh, ConservationMonitor, DistBlockMesh,
+                        equilibrium_star, slab_partition)
+from repro.resilience import (BuddyReplicatedStore, CheckpointError,
+                              CheckpointManager, FaultInjector,
+                              RecoveryCoordinator)
+from repro.runtime import CounterRegistry
+
+
+def star_interior():
+    return equilibrium_star(n=16, domain=4.0)
+
+
+def dist_mesh(n_localities=4, registry=None):
+    star = star_interior()
+    mesh = DistBlockMesh(2, n_localities=n_localities, port="libfabric",
+                         domain=star.domain, origin=star.origin,
+                         options=star.options, bc=star.bc,
+                         self_gravity=True,
+                         registry=registry or CounterRegistry())
+    mesh.load_interior(star.interior.copy())
+    return mesh
+
+
+def wired(mesh, reg, **mgr_kwargs):
+    """Manager + store with the commit hook connected (no coordinator)."""
+    mgr = CheckpointManager(interval=1, registry=reg, **mgr_kwargs)
+    store = BuddyReplicatedStore(mesh, keep=mgr_kwargs.get("keep", 4),
+                                 registry=reg)
+    mgr.on_commit = store.replicate
+    return mgr, store
+
+
+class TestBuddyReplicatedStore:
+    def test_every_block_lands_on_owner_and_buddy(self):
+        reg = CounterRegistry()
+        mesh = dist_mesh(registry=reg)
+        mgr, store = wired(mesh, reg)
+        cp = mgr.save(mesh)
+        owners = mesh.owners()
+        alive = sorted(store.alive)
+        for ip in mesh.blocks:
+            owner = owners[ip]
+            buddy = store._buddy_of(owner, alive)
+            assert (cp.generation, ip) in store.holdings(owner)
+            assert (cp.generation, ip) in store.holdings(buddy)
+        n = len(mesh.blocks)
+        assert reg.value("/resilience/ckpt/replicas") == n
+        assert reg.value("/resilience/ckpt/replica-bytes") == sum(
+            b.nbytes for b in mesh.blocks.values())
+
+    def test_replication_is_charged_like_halo_traffic(self):
+        reg = CounterRegistry()
+        mesh = dist_mesh(registry=reg)
+        mgr, store = wired(mesh, reg)
+        before = mesh.transport.stats.onesided_msgs
+        mgr.save(mesh)
+        st = mesh.transport.stats
+        # one buddy put per block plus the manifest broadcast (the
+        # origin's own manifest copy is a local fast path — uncharged)
+        assert st.onesided_msgs == before + len(mesh.blocks) \
+            + len(store.alive) - 1
+        assert mesh.transport.reconciles()
+
+    def test_torn_saves_are_never_replicated(self):
+        reg = CounterRegistry()
+        mesh = dist_mesh(registry=reg)
+        inj = FaultInjector(seed=7, torn_write_at_saves=(0,), registry=reg)
+        mgr, store = wired(mesh, reg, injector=inj)
+        mgr.save(mesh)
+        assert store.replicated == 0
+        mgr.save(mesh)
+        assert store.replicated == 1
+
+    def test_replicas_are_independent_copies(self):
+        reg = CounterRegistry()
+        mesh = dist_mesh(registry=reg)
+        mgr, store = wired(mesh, reg)
+        cp = mgr.save(mesh)
+        ip = sorted(mesh.blocks)[0]
+        owner = mesh.owners()[ip]
+        assert store.damage_copy(cp.generation, ip, owner)
+        man, holders = store.recovery_plan()
+        # the plan routes around the rotten replica to the buddy's copy
+        assert man.generation == cp.generation
+        assert holders[ip] != owner
+        # the generation still qualified: no corrupt-generation tally
+        assert reg.snapshot().get("/resilience/ckpt/corrupt", 0.0) == 0.0
+        assert reg.value("/resilience/ckpt/verified") == 1.0
+
+    def test_locality_loss_wipes_the_shard_idempotently(self):
+        reg = CounterRegistry()
+        mesh = dist_mesh(registry=reg)
+        mgr, store = wired(mesh, reg)
+        mgr.save(mesh)
+        dropped = store.locality_lost(1)
+        assert dropped > 0
+        assert store.holdings(1) == []
+        assert 1 not in store.alive
+        assert store.locality_lost(1) == 0  # idempotent
+        assert reg.value("/resilience/ckpt/replicas-lost") == dropped
+
+    def test_plan_falls_back_past_a_fully_damaged_generation(self):
+        reg = CounterRegistry()
+        mesh = dist_mesh(registry=reg)
+        mgr, store = wired(mesh, reg)
+        good = mgr.save(mesh)
+        bad = mgr.save(mesh)
+        owners = mesh.owners()
+        alive = sorted(store.alive)
+        for ip in mesh.blocks:  # both copies of every newest-gen block rot
+            owner = owners[ip]
+            store.damage_copy(bad.generation, ip, owner)
+            store.damage_copy(bad.generation, ip,
+                              store._buddy_of(owner, alive))
+        man, holders = store.recovery_plan()
+        assert man.generation == good.generation
+        assert reg.value("/resilience/ckpt/fallback") == 1.0
+        assert reg.value("/resilience/ckpt/corrupt") == 1.0
+        assert reg.value("/resilience/ckpt/verified") == 1.0
+
+    def test_plan_raises_when_no_generation_survives(self):
+        reg = CounterRegistry()
+        mesh = dist_mesh(n_localities=2, registry=reg)
+        mgr, store = wired(mesh, reg)
+        mgr.save(mesh)
+        store.locality_lost(0)
+        store.locality_lost(1)
+        with pytest.raises(CheckpointError, match="no globally-consistent"):
+            store.recovery_plan()
+
+    def test_prune_retains_only_keep_generations(self):
+        reg = CounterRegistry()
+        mesh = dist_mesh(registry=reg)
+        mgr = CheckpointManager(interval=1, keep=2, registry=reg)
+        store = BuddyReplicatedStore(mesh, keep=2, registry=reg)
+        mgr.on_commit = store.replicate
+        cps = [mgr.save(mesh) for _ in range(4)]
+        gens = {gk[0] for loc in store.alive for gk in store.holdings(loc)}
+        assert gens == {cps[-2].generation, cps[-1].generation}
+
+
+class TestRecoveryCoordinator:
+    def test_construction_wires_the_commit_hook(self):
+        reg = CounterRegistry()
+        mesh = dist_mesh(registry=reg)
+        mgr = CheckpointManager(interval=1, registry=reg)
+        coord = RecoveryCoordinator(mesh, mgr, registry=reg)
+        assert mgr.on_commit == coord.store.replicate
+        mgr.save(mesh)
+        assert coord.store.replicated == 1
+
+    def test_policy_thresholds(self):
+        reg = CounterRegistry()
+        mesh = dist_mesh(registry=reg)
+        mgr = CheckpointManager(interval=1, registry=reg)
+        coord = RecoveryCoordinator(mesh, mgr, evacuation_capacity=1,
+                                    registry=reg)
+        assert not coord.needs_global_recovery(0)
+        assert not coord.needs_global_recovery(1)  # evacuation absorbs one
+        assert coord.needs_global_recovery(2)      # ...but not two at once
+        # a lost last-copy forces global recovery regardless of the count
+        mesh.fail_locality(1, evacuate=False)
+        assert coord.lost_blocks() == sorted(mesh.lost_blocks)
+        assert coord.needs_global_recovery(0)
+
+    def test_recover_restores_byte_identical_state_on_survivors(self):
+        reg = CounterRegistry()
+        mesh = dist_mesh(n_localities=4, registry=reg)
+        mgr = CheckpointManager(interval=1, registry=reg)
+        coord = RecoveryCoordinator(mesh, mgr, registry=reg)
+        mon = ConservationMonitor()
+        mon.sample(mesh)
+        cp = mgr.save(mesh, mon)
+        saved = {ip: blk.copy() for ip, blk in mesh.blocks.items()}
+        saved_t, saved_steps = mesh.time, mesh.steps
+        for _ in range(2):
+            mesh.step()
+            mon.sample(mesh)
+
+        # correlated, non-adjacent dual kill: GIDs lost with the memory
+        for victim in (1, 3):
+            mesh.fail_locality(victim, evacuate=False)
+        for ip in mesh.lost_blocks:
+            mesh.blocks[ip][...] = np.nan
+        assert coord.needs_global_recovery(2)
+
+        report = coord.recover(mon)
+        assert report.generation == cp.generation
+        assert report.survivors == [0, 2]
+        assert report.blocks_fetched == len(mesh.blocks)
+        # the victims' 4 blocks are resurrected; the survivors' blocks
+        # already sit where the 2-locality slab partition puts them
+        assert report.components_restored == 4
+        assert report.components_migrated == 0
+        for ip, blk in saved.items():
+            assert np.array_equal(mesh.blocks[ip], blk)
+        assert mesh.time == saved_t and mesh.steps == saved_steps
+        assert len(mon.records) == cp.monitor_len
+        assert mesh.lost_blocks == set()
+        # ownership remapped over the survivors only
+        ips = sorted(mesh.blocks)
+        for i, ip in enumerate(ips):
+            assert mesh.owners()[ip] == \
+                [0, 2][slab_partition(i, len(ips), 2)]
+        # the dead timeline's records are gone; durability is re-seeded
+        assert len(mgr) == 1
+        assert mgr.latest.step == saved_steps
+        assert reg.value("/recovery/global-rollbacks") == 1.0
+        assert reg.value("/recovery/elastic-restarts") == 1.0
+        assert reg.value("/recovery/blocks-fetched") == len(mesh.blocks)
+        assert reg.value("/recovery/localities-remaining") == 2.0
+        assert mesh.transport.reconciles()
+
+    def test_recover_then_replay_matches_a_straight_run(self):
+        """The elastic restart finishes byte-identical: replaying on two
+        survivors reproduces a 4-locality run that never failed (the
+        partition-independence contract)."""
+        straight = dist_mesh(n_localities=4)
+        for _ in range(3):
+            straight.step()
+
+        reg = CounterRegistry()
+        mesh = dist_mesh(n_localities=4, registry=reg)
+        mgr = CheckpointManager(interval=1, registry=reg)
+        coord = RecoveryCoordinator(mesh, mgr, registry=reg)
+        mesh.step()
+        mgr.save(mesh)
+        for _ in range(2):
+            mesh.step()
+        for victim in (1, 3):
+            mesh.fail_locality(victim, evacuate=False)
+        for ip in mesh.lost_blocks:
+            mesh.blocks[ip][...] = np.nan
+        report = coord.recover()
+        assert mesh.steps == 1 and report.components_restored > 0
+        for _ in range(2):
+            mesh.step()
+        assert mesh.steps == straight.steps
+        for ip in straight.blocks:
+            assert np.array_equal(straight.blocks[ip], mesh.blocks[ip])
+        assert mesh.time == straight.time
+
+    def test_recover_raises_when_no_locality_survives(self):
+        reg = CounterRegistry()
+        mesh = dist_mesh(n_localities=2, registry=reg)
+        mgr = CheckpointManager(interval=1, registry=reg)
+        coord = RecoveryCoordinator(mesh, mgr, registry=reg)
+        mgr.save(mesh)
+        mesh.fail_locality(0, evacuate=False)
+        mesh.fail_locality(1, evacuate=False)
+        with pytest.raises(CheckpointError, match="no locality survives"):
+            coord.recover()
+
+
+class TestCheckpointStoreFaults:
+    """Every FaultInjector checkpoint-fault class aimed at the manager:
+    ``restore_latest`` always lands on the newest *verified* generation,
+    and :class:`CheckpointError` fires only when none survives."""
+
+    def small_mesh(self):
+        star = star_interior()
+        mesh = BlockMesh(2, domain=star.domain, origin=star.origin,
+                         options=star.options, bc=star.bc,
+                         self_gravity=True)
+        mesh.load_interior(star.interior.copy())
+        return mesh
+
+    def saves_and_steps(self, mgr, mesh, n):
+        """n saves at distinct steps; returns the state at each save."""
+        states = []
+        for _ in range(n):
+            states.append(({ip: b.copy() for ip, b in mesh.blocks.items()},
+                           mesh.steps))
+            mgr.save(mesh)
+            mesh.step()
+        return states
+
+    def assert_restored(self, mesh, state):
+        blocks, steps = state
+        for ip, blk in blocks.items():
+            assert np.array_equal(mesh.blocks[ip], blk)
+        assert mesh.steps == steps
+
+    def test_scheduled_torn_write_falls_back_one_generation(self):
+        reg = CounterRegistry()
+        inj = FaultInjector(seed=3, torn_write_at_saves=(1,), registry=reg)
+        mgr = CheckpointManager(interval=1, keep=3, registry=reg,
+                                injector=inj)
+        mesh = self.small_mesh()
+        states = self.saves_and_steps(mgr, mesh, 2)
+        assert inj.stats()["torn-write"] == 1
+        assert not mgr.latest.committed
+        mgr.restore_latest(mesh)
+        self.assert_restored(mesh, states[0])  # save #1 was torn
+        assert reg.value("/resilience/ckpt/torn") == 1.0
+        assert reg.value("/resilience/ckpt/fallback") == 1.0
+        assert reg.value("/resilience/ckpt/verified") == 1.0
+
+    def test_scheduled_corruption_falls_back_one_generation(self):
+        reg = CounterRegistry()
+        inj = FaultInjector(seed=3, corrupt_ckpt_at_saves=(1,),
+                            registry=reg)
+        mgr = CheckpointManager(interval=1, keep=3, registry=reg,
+                                injector=inj)
+        mesh = self.small_mesh()
+        states = self.saves_and_steps(mgr, mesh, 2)
+        assert inj.stats()["ckpt-corruption"] == 1
+        assert mgr.latest.committed          # the save looked successful...
+        assert not mgr.latest.verify()       # ...but the content rotted
+        mgr.restore_latest(mesh)
+        self.assert_restored(mesh, states[0])
+        assert reg.value("/resilience/ckpt/corrupt") == 1.0
+        assert reg.value("/resilience/ckpt/verified") == 1.0
+
+    def test_rate_based_faults_land_on_newest_verified(self):
+        reg = CounterRegistry()
+        inj = FaultInjector(seed=5, torn_write_rate=0.5,
+                            ckpt_corruption_rate=0.5, max_torn_writes=2,
+                            max_ckpt_corruptions=2, registry=reg)
+        mgr = CheckpointManager(interval=1, keep=6, registry=reg,
+                                injector=inj)
+        mesh = self.small_mesh()
+        states = self.saves_and_steps(mgr, mesh, 6)
+        stats = inj.stats()
+        assert stats["torn-write"] + stats["ckpt-corruption"] > 0
+        expected = mgr.latest_verified
+        assert expected is not None
+        restored = mgr.restore_latest(mesh)
+        assert restored is expected
+        self.assert_restored(mesh, states[restored.step])
+        # everything newer than the restored record failed verification
+        # and was dropped on the way down
+        assert reg.snapshot().get("/resilience/ckpt/fallback", 0.0) \
+            == 5 - restored.step
+
+    def test_mixed_schedule_skips_both_fault_kinds(self):
+        reg = CounterRegistry()
+        inj = FaultInjector(seed=9, torn_write_at_saves=(2,),
+                            corrupt_ckpt_at_saves=(1,), registry=reg)
+        mgr = CheckpointManager(interval=1, keep=4, registry=reg,
+                                injector=inj)
+        mesh = self.small_mesh()
+        states = self.saves_and_steps(mgr, mesh, 3)
+        mgr.restore_latest(mesh)
+        self.assert_restored(mesh, states[0])  # #1 corrupt, #2 torn
+        assert reg.value("/resilience/ckpt/fallback") == 2.0
+
+    def test_error_only_when_no_verified_generation_survives(self):
+        reg = CounterRegistry()
+        inj = FaultInjector(seed=1, corrupt_ckpt_at_saves=(0, 1),
+                            torn_write_at_saves=(2,), registry=reg)
+        mgr = CheckpointManager(interval=1, keep=3, registry=reg,
+                                injector=inj)
+        mesh = self.small_mesh()
+        self.saves_and_steps(mgr, mesh, 3)
+        assert mgr.latest_verified is None
+        with pytest.raises(CheckpointError, match="no verified checkpoint"):
+            mgr.restore_latest(mesh)
+        assert reg.value("/resilience/ckpt/fallback") == 3.0
+        # a later good save makes restore work again
+        good = mgr.save(mesh)
+        assert mgr.restore_latest(mesh) is good
+
+    def test_wiring_the_injector_does_not_perturb_other_schedules(self):
+        """rate=0 checkpoint checks must not consume RNG draws — the
+        pre-existing seeded step/loss schedules stay byte-identical."""
+        a = FaultInjector(seed=42, loss_rate=0.5,
+                          registry=CounterRegistry())
+        b = FaultInjector(seed=42, loss_rate=0.5,
+                          registry=CounterRegistry())
+        for _ in range(12):
+            b.torn_write_due()           # the manager asks every save...
+            b.checkpoint_corruption_due()  # ...rate 0 => no RNG draw
+            assert a.drop_message() == b.drop_message()

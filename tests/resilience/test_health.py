@@ -136,3 +136,56 @@ class TestFailureDetector:
             FailureDetector(agas, ev, heartbeat_interval=0.0)
         with pytest.raises(ValueError):
             FailureDetector(agas, ev, phi_threshold=0.0)
+
+
+class TestStaleHeartbeatGate:
+    """A declared locality must never flap back: suspect -> evacuate ->
+    late heartbeat is the exact ordering the one-way gate defends."""
+
+    def test_suspect_evacuate_then_stale_heartbeat_is_dropped(self):
+        agas, gids, reg = make_world()
+        ev = EventQueue()
+        det = FailureDetector(agas, ev, heartbeat_interval=1.0,
+                              phi_threshold=3.0, registry=reg)
+        det.start()
+        ev.run(until=10.0)
+        det.silence(2)                       # the node dies...
+        ev.run(until=60.0)
+        assert det.declared_failed == {2}    # ...is suspected, declared,
+        homes = {gid: agas.locality_of(gid) for gid in gids}
+        assert all(loc != 2 for loc in homes.values())  # ...and evacuated
+
+        # a heartbeat emitted before death crawls out of a congested
+        # switch now: it must not refresh liveness or touch AGAS
+        assert det.receive_heartbeat(2) is False
+        snap = reg.snapshot()
+        assert snap["/resilience/health/stale-heartbeats"] == 1.0
+        assert agas.failed_localities == {2}
+        assert det.declared_failed == {2}
+        assert {gid: agas.locality_of(gid) for gid in gids} == homes
+        # the gate is permanent, not probabilistic
+        assert det.receive_heartbeat(2) is False
+        assert reg.snapshot()["/resilience/health/stale-heartbeats"] == 2.0
+
+    def test_out_of_band_beat_before_declaration_counts(self):
+        agas, _gids, reg = make_world()
+        ev = EventQueue()
+        det = FailureDetector(agas, ev, heartbeat_interval=1.0,
+                              phi_threshold=3.0, registry=reg)
+        det.start()
+        ev.run(until=5.0)
+        det.silence(1)          # silenced but not yet declared
+        ev.run(until=6.0)
+        assert 1 not in det.declared_failed
+        before = det.phi(1)
+        assert det.receive_heartbeat(1) is True   # arrives pre-verdict
+        assert det.phi(1) < before                # liveness refreshed
+        assert "/resilience/health/stale-heartbeats" not in reg.snapshot()
+
+    def test_unmonitored_locality_is_ignored(self):
+        agas, _gids, reg = make_world()
+        ev = EventQueue()
+        det = FailureDetector(agas, ev, localities=[0, 1], registry=reg)
+        det.start()
+        assert det.receive_heartbeat(3) is False
+        assert "/resilience/health/stale-heartbeats" not in reg.snapshot()
