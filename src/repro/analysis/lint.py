@@ -88,6 +88,26 @@ REPRO009 *unverified-checkpoint-record*
     are flagged everywhere outside ``resilience/checkpoint.py``;
     snapshot through ``CheckpointManager.save`` and restore through
     ``restore_latest``.
+
+REPRO010 *unsanitized-task-buffer-write*
+    A ``core/`` function that is dispatched as an engine/scheduler task
+    (its name appears as the callable argument of some ``.map(...)`` /
+    ``.submit(...)`` call anywhere in the linted tree) mutates an
+    engine-owned buffer — an ``out``/``outs`` parameter, a buffer taken
+    from a workspace (``ws.take(...)``, ``self._ws...``) or the
+    futurized output pool (``_pool_out``), or any local alias of one —
+    via subscript assignment, in-place ``+=``, or ``np.copyto``,
+    without declaring a single shadow access
+    (:func:`repro.sanitize.racecheck.access`) anywhere in its body.
+    Such writes run concurrently on worker threads; without the paired
+    ``sanitize.access`` declaration the race detector is blind to them,
+    so an aliasing bug between two tasks would ship silently.  Declaring
+    one access in the function (``_racecheck.access(buf, "w", ...)``)
+    brings every buffer it touches under the happens-before check and
+    silences the rule.  (Collection is a two-pass affair: ``lint_paths``
+    first gathers dispatched-callable names over the whole tree, then
+    lints each file against that set; single-file ``lint_source`` runs
+    collect the same-file dispatches only.)
 """
 
 from __future__ import annotations
@@ -151,6 +171,10 @@ RULES: dict[str, tuple[str, str]] = {
                  "checkpoint records round-trip through the verified store: "
                  "no MeshCheckpoint construction or _checkpoints mutation "
                  "outside resilience/checkpoint.py"),
+    "REPRO010": ("unsanitized-task-buffer-write",
+                 "core/ task bodies mutating engine-owned buffers (out=/ws/"
+                 "_pool_out and aliases) must declare sanitize.access so the "
+                 "race detector sees the write"),
 }
 
 #: scheduler entry points whose callable arguments become task bodies
@@ -171,6 +195,34 @@ _SCRATCH_PARAMS = {"out", "ws"}
 
 #: list methods that mutate a checkpoint store in place (REPRO009)
 _CKPT_MUTATORS = {"append", "pop", "clear", "extend", "insert", "remove"}
+
+#: call methods whose first positional argument is dispatched as a task
+#: body on worker threads (REPRO010 collection pass)
+_DISPATCH_METHODS = {"map", "submit"}
+#: parameter names that hand a function an engine-owned output buffer
+_ENGINE_BUFFER_PARAMS = {"out", "outs", "rhs"}
+#: receiver spellings that mark a call result as workspace/pool-backed
+_WS_RECEIVERS = {"ws", "_ws"}
+
+
+def _collect_task_names(tree: ast.AST) -> set[str]:
+    """Names of callables handed to ``.map(...)`` / ``.submit(...)``.
+
+    The terminal identifier is collected for both ``engine.map(fn, ...)``
+    (yields ``fn``) and ``engine.map(self._kernel, ...)`` (yields
+    ``_kernel``); lambdas and other expressions are out of static reach.
+    """
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _DISPATCH_METHODS and node.args):
+            fn = node.args[0]
+            if isinstance(fn, ast.Name):
+                names.add(fn.id)
+            elif isinstance(fn, ast.Attribute):
+                names.add(fn.attr)
+    return names
 
 
 def _is_unbounded_get(node: ast.Call) -> bool:
@@ -220,7 +272,8 @@ def _looks_like_channel(expr: ast.expr) -> bool:
 
 
 class _Linter(ast.NodeVisitor):
-    def __init__(self, path: str, rel: str, imports_network: bool = False):
+    def __init__(self, path: str, rel: str, imports_network: bool = False,
+                 task_names: set[str] | None = None):
         self.path = path
         #: repo-relative path with forward slashes, for scoped rules
         self.rel = rel.replace("\\", "/")
@@ -237,6 +290,9 @@ class _Linter(ast.NodeVisitor):
         #: everywhere except the verified store itself (REPRO009 scope)
         self.outside_ckpt_store = not self.rel.endswith(
             "resilience/checkpoint.py")
+        #: engine-dispatched callable names from the collection pass
+        #: (REPRO010 scope: core/ functions with one of these names)
+        self.task_names = task_names or set()
 
     def _hit(self, node: ast.AST, rule: str, message: str) -> None:
         self.violations.append(
@@ -349,6 +405,106 @@ class _Linter(ast.NodeVisitor):
 
         walk(fn, False)
 
+    # -- REPRO010 ---------------------------------------------------------
+
+    @staticmethod
+    def _root_name(expr: ast.expr) -> str | None:
+        """The base ``Name`` under any chain of subscripts/attributes."""
+        while isinstance(expr, (ast.Subscript, ast.Attribute)):
+            expr = expr.value
+        return expr.id if isinstance(expr, ast.Name) else None
+
+    def _is_engine_buffer(self, value: ast.expr, owned: set[str]) -> bool:
+        """Does this assignment RHS yield an engine-owned buffer?
+
+        True for aliases of already-owned names (``x = out``,
+        ``x = out[sl]``), either arm of a conditional alias
+        (``out if out is not None else ...``), and workspace/pool
+        allocations (``ws.take(...)``, ``self._ws.buf(...)``,
+        ``self._pool_out(...)``).
+        """
+        if isinstance(value, (ast.Name, ast.Subscript)):
+            return self._root_name(value) in owned
+        if isinstance(value, ast.IfExp):
+            return (self._is_engine_buffer(value.body, owned)
+                    or self._is_engine_buffer(value.orelse, owned))
+        if (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)):
+            if value.func.attr == "_pool_out":
+                return True
+            tail = ast.unparse(value.func.value).split(".")[-1]
+            return tail in _WS_RECEIVERS
+        return False
+
+    def _check_task_buffer_writes(self, fn) -> None:
+        """REPRO010: engine-task writes invisible to the race detector.
+
+        Scope: ``core/`` functions whose name was collected as a
+        dispatched callable.  A single ``.access(...)`` call anywhere in
+        the body exempts the whole function — it participates in the
+        shadow-access contract, and the dynamic detector takes over from
+        there.
+        """
+        if not self.in_core or fn.name not in self.task_names:
+            return
+        for sub in ast.walk(fn):
+            if (isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "access"):
+                return
+        args = fn.args
+        owned = {a.arg for a in (args.posonlyargs + args.args
+                                 + args.kwonlyargs)
+                 if a.arg in _ENGINE_BUFFER_PARAMS}
+        # alias propagation to a fixpoint: ws/pool allocations seed new
+        # owned names, plain/conditional aliases spread them
+        changed = True
+        while changed:
+            changed = False
+            for sub in ast.walk(fn):
+                if not (isinstance(sub, ast.Assign)
+                        and len(sub.targets) == 1
+                        and isinstance(sub.targets[0], ast.Name)):
+                    continue
+                tgt = sub.targets[0].id
+                if tgt not in owned and self._is_engine_buffer(sub.value,
+                                                               owned):
+                    owned.add(tgt)
+                    changed = True
+        if not owned:
+            return
+
+        def hit(node: ast.AST, what: str, name: str) -> None:
+            self._hit(node, "REPRO010",
+                      f"{what} engine-owned buffer {name!r} in task body "
+                      f"{fn.name!r} without a sanitize.access declaration; "
+                      "the race detector cannot see this write — declare "
+                      f"racecheck.access({name}, \"w\", owner=...) in the "
+                      "function")
+
+        for sub in ast.walk(fn):
+            if isinstance(sub, ast.Assign):
+                for t in sub.targets:
+                    if isinstance(t, ast.Subscript):
+                        name = self._root_name(t)
+                        if name in owned:
+                            hit(sub, "subscript assignment to", name)
+            elif isinstance(sub, ast.AugAssign):
+                t = sub.target
+                name = (self._root_name(t)
+                        if isinstance(t, (ast.Subscript, ast.Name))
+                        else None)
+                if name in owned:
+                    hit(sub, "in-place update of", name)
+            elif (isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "copyto"
+                    and isinstance(sub.func.value, ast.Name)
+                    and sub.func.value.id in ("np", "numpy") and sub.args):
+                name = self._root_name(sub.args[0])
+                if name in owned:
+                    hit(sub, "np.copyto into", name)
+
     # -- visitors ---------------------------------------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -438,11 +594,13 @@ class _Linter(ast.NodeVisitor):
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_lease_guards(node)
         self._check_hot_kernel_allocs(node)
+        self._check_task_buffer_writes(node)
         self.generic_visit(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_lease_guards(node)
         self._check_hot_kernel_allocs(node)
+        self._check_task_buffer_writes(node)
         self.generic_visit(node)
 
     # REPRO009: assignment / deletion targets that rewrite a checkpoint
@@ -485,22 +643,32 @@ class _Linter(ast.NodeVisitor):
 
 
 def lint_source(source: str, path: str = "<string>",
-                rel: str | None = None) -> list[Violation]:
-    """Lint one source string; ``rel`` scopes the path-dependent rules."""
+                rel: str | None = None,
+                task_names: set[str] | None = None) -> list[Violation]:
+    """Lint one source string; ``rel`` scopes the path-dependent rules.
+
+    ``task_names`` extends the REPRO010 collection set with dispatched
+    callables found elsewhere in the tree; same-file dispatches are
+    always collected.
+    """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
         return [Violation(path, exc.lineno or 0, "REPRO000",
                           f"syntax error: {exc.msg}")]
+    names = _collect_task_names(tree) | (task_names or set())
     linter = _Linter(path, rel if rel is not None else path,
-                     imports_network=_imports_network(tree))
+                     imports_network=_imports_network(tree),
+                     task_names=names)
     linter.visit(tree)
     return sorted(linter.violations, key=lambda v: (v.line, v.rule))
 
 
-def lint_file(path: Path, root: Path | None = None) -> list[Violation]:
+def lint_file(path: Path, root: Path | None = None,
+              task_names: set[str] | None = None) -> list[Violation]:
     rel = str(path.relative_to(root)) if root else str(path)
-    return lint_source(path.read_text(encoding="utf-8"), str(path), rel)
+    return lint_source(path.read_text(encoding="utf-8"), str(path), rel,
+                       task_names=task_names)
 
 
 def _iter_files(paths: Iterable[str]) -> Iterator[tuple[Path, Path]]:
@@ -514,16 +682,26 @@ def _iter_files(paths: Iterable[str]) -> Iterator[tuple[Path, Path]]:
 
 
 def lint_paths(paths: Iterable[str]) -> list[Violation]:
+    files = list(_iter_files(paths))
+    # pass 1 (REPRO010): gather dispatched-callable names over the whole
+    # tree, so a core/ kernel is matched against dispatches anywhere
+    task_names: set[str] = set()
+    for f, _root in files:
+        try:
+            task_names |= _collect_task_names(
+                ast.parse(f.read_text(encoding="utf-8"), filename=str(f)))
+        except SyntaxError:
+            pass  # pass 2 reports it as REPRO000
     out: list[Violation] = []
-    for f, root in _iter_files(paths):
-        out.extend(lint_file(f, root))
+    for f, root in files:
+        out.extend(lint_file(f, root, task_names=task_names))
     return out
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="repo-specific AST lint pass (REPRO001..REPRO009)")
+        description="repo-specific AST lint pass (REPRO001..REPRO010)")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
     parser.add_argument("--rules", action="store_true",

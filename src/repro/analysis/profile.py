@@ -243,10 +243,37 @@ def format_report(registry: CounterRegistry | None = None) -> str:
 
     san = groups.get("sanitize")
     if san:
-        rows = [[k, int(v)] for k, v in sorted(san.items())]
-        sections.append(format_table(
-            ["counter", "value"], rows,
-            title="sanitizers (/sanitize) — findings by hazard kind"))
+        race = {k.split("/", 1)[1]: v for k, v in san.items()
+                if k.startswith("race/")}
+        sched = {k.split("/", 1)[1]: v for k, v in san.items()
+                 if k.startswith("schedules/")}
+        findings = {k: v for k, v in san.items()
+                    if not k.startswith(("race/", "schedules/"))}
+        if findings:
+            rows = [[k, int(v)] for k, v in sorted(findings.items())]
+            sections.append(format_table(
+                ["counter", "value"], rows,
+                title="sanitizers (/sanitize) — findings by hazard kind"))
+        if race:
+            rows = [[k, int(race[k])] for k in
+                    ("accesses", "hb-edges", "races", "buffers-tracked")
+                    if k in race]
+            rows += [[k, int(v)] for k, v in sorted(race.items())
+                     if not any(r[0] == k for r in rows)]
+            sections.append(format_table(
+                ["counter", "value"], rows,
+                title="race detector (/sanitize/race) — shadow accesses "
+                      "vs happens-before edges"))
+        if sched:
+            rows = [[k, int(sched[k])] for k in
+                    ("active", "seed", "perturbations", "permutations")
+                    if k in sched]
+            rows += [[k, int(v)] for k, v in sorted(sched.items())
+                     if not any(r[0] == k for r in rows)]
+            sections.append(format_table(
+                ["counter", "value"], rows,
+                title="schedule explorer (/sanitize/schedules) — seeded "
+                      "perturbations (replay: REPRO_SCHEDULE_SEED)"))
 
     if not sections:
         return "(no counters recorded)"

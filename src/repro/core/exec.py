@@ -52,6 +52,10 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
+from ..sanitize import racecheck as _racecheck
+from ..sanitize import state as _sanitize_state
 from ..runtime.aggregate import AggregationRegion, DEFAULT_AGG_SLOTS
 from ..runtime.counters import CounterRegistry, default_registry
 from ..runtime.cuda import CudaDevice, StreamPool, DEFAULT_LEASE_TIMEOUT_S
@@ -162,6 +166,16 @@ class ExecutionEngine:
         """
         argtuples = [tuple(args) for args in argtuples]
         promises = [Promise() for _ in argtuples]
+        if _sanitize_state.ACTIVE:
+            # declare every ndarray argument as read at dispatch: the
+            # post/future edges order these against the kernels, so an
+            # unsynchronized mutation of a buffer already handed to the
+            # engine surfaces as a two-access report
+            label = f"exec:{getattr(fn, '__name__', 'kernel')}"
+            for args in argtuples:
+                for a in args:
+                    if isinstance(a, np.ndarray):
+                        _racecheck.access(a, "r", owner=label)
         self.registry.increment("/exec/batches")
         self.registry.increment("/exec/tasks", float(len(argtuples)))
         if self.scheduler is None:

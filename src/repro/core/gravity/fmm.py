@@ -37,6 +37,8 @@ from functools import lru_cache
 import numpy as np
 
 from ...runtime.counters import default_registry
+from ...sanitize import racecheck as _racecheck
+from ...sanitize import state as _sanitize_state
 from ...util import morton_key
 from ..workspace import Workspace
 from .kernels import m2l_pair, p2p_pair, p2p_pair_staged
@@ -394,6 +396,11 @@ class FmmSolver:
         """
         tile = FmmSolver._TILE
         outs = make_out(n)
+        if _sanitize_state.ACTIVE:
+            # whole-batch write declaration for the (possibly pooled)
+            # output buffers this task is about to fill
+            for o in outs:
+                _racecheck.access(o, "w", owner="fmm/pair-out")
         for lo in range(0, n, tile):
             sl = slice(lo, min(lo + tile, n))
             kernel(*tile_args(sl), out=tuple(o[sl] for o in outs))
@@ -495,6 +502,12 @@ class FmmSolver:
                 kind, la, a, lb, b = self._plan[i]
                 out = futs[j].get()
                 futs[j] = None  # release the output once accumulated
+                if _sanitize_state.ACTIVE:
+                    # the future's resolution edge orders these reads
+                    # after the computing worker's writes; slot reuse in
+                    # the next chunk is ordered through the re-dispatch
+                    for o in out:
+                        _racecheck.access(o, "r", owner="fmm/pair-out")
                 if kind == "m2l":
                     reg.increment("/fmm/interactions/multipole", len(a))
                     phiA, phiB, accA, accB, HA, HB = out

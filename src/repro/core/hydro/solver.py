@@ -33,6 +33,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ...sanitize import racecheck as _racecheck
+from ...sanitize import state as _sanitize_state
 from ..eos import IdealGas
 from ..grid import EGAS, LX, NF, NGHOST, RHO, SX, TAU
 from .reconstruct import minmod_faces, ppm_faces
@@ -115,6 +117,13 @@ def compute_rhs(U: np.ndarray, dx: float, options: HydroOptions,
         rhs = ws.buf("rhs:out", (NF,) + shape)
     else:
         rhs = np.empty((NF,) + shape)
+    if _sanitize_state.ACTIVE:
+        # shadow-access declarations: this task body reads the conserved
+        # block (and gravity) and overwrites the shared out= buffer
+        _racecheck.access(U, "r", owner="hydro/U")
+        if gravity is not None:
+            _racecheck.access(gravity, "r", owner="hydro/gravity")
+        _racecheck.access(rhs, "w", owner="hydro/rhs-out")
     rhs[...] = 0.0
     fluxes = []
 
@@ -263,6 +272,11 @@ def rk2_step(U: np.ndarray, dt: float, dx: float, options: HydroOptions,
     g = NGHOST
     n = U.shape[1] - 2 * g
     inner = (slice(None),) + (slice(g, g + n),) * 3
+    if _sanitize_state.ACTIVE:
+        # the whole step mutates U in place (stage update + floors + tau)
+        _racecheck.access(U, "w", owner="hydro/rk2-U")
+        if gravity is not None:
+            _racecheck.access(gravity, "r", owner="hydro/gravity")
     fill_ghosts(U)
     if ws is not None:
         k1 = compute_rhs(U, dx, options, origin, gravity,

@@ -39,6 +39,8 @@ from typing import Callable
 import numpy as np
 
 from ..runtime.counters import default_registry
+from ..sanitize import racecheck as _racecheck
+from ..sanitize import state as _sanitize_state
 from .eos import IdealGas
 from .grid import EGAS, LX, NF, NGHOST, RHO, SUBGRID_N, SX, TAU
 from .gravity.fmm import FmmSolver
@@ -429,6 +431,8 @@ class BlockMesh:
         """Interior layer a neighbour at ``off`` needs (from the sender)."""
         g = NGHOST
         s = self.nsub
+        if _sanitize_state.ACTIVE:
+            _racecheck.access(blk, "r", owner="halo/src-block")
         sl = [slice(None)]
         for d in range(3):
             if off[d] == -1:
@@ -444,6 +448,9 @@ class BlockMesh:
         """Write a received halo from the neighbour at ``off``."""
         g = NGHOST
         s = self.nsub
+        if _sanitize_state.ACTIVE:
+            _racecheck.access(data, "r", owner="halo/payload")
+            _racecheck.access(blk, "w", owner="halo/dst-block")
         sl = [slice(None)]
         for d in range(3):
             if off[d] == 1:

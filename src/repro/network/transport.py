@@ -35,6 +35,9 @@ from __future__ import annotations
 import random
 from dataclasses import replace
 
+from ..sanitize import racecheck as _racecheck
+from ..sanitize import schedules as _schedules
+from ..sanitize import state as _sanitize_state
 from .parcelport import EAGER_BYTES, PARCELPORTS, Parcelport, port_stats
 
 __all__ = ["HaloTransport", "TransportStats"]
@@ -106,6 +109,11 @@ class HaloTransport:
         seed — buffered until :meth:`flush`.
         """
         nbytes = int(getattr(value, "nbytes", 0) or len(value))
+        if _sanitize_state.ACTIVE:
+            # the payload is read (serialized) at send time: any
+            # unsynchronized later write to it would corrupt the wire copy
+            _racecheck.access(value, "r",
+                              owner=f"halo:{getattr(channel, 'name', '?')}")
         st = self.stats
         if src_locality == dst_locality:
             st.local_msgs += 1
@@ -131,6 +139,11 @@ class HaloTransport:
             return 0
         batch, self._pending = self._pending, []
         self._rng.shuffle(batch)
+        exp = _schedules.EXPLORER
+        if exp is not None:
+            # explorer permutation on top of the transport's own seeded
+            # shuffle: generation matching must absorb any arrival order
+            batch = exp.permute("transport-flush", batch)
         for channel, value, generation in batch:
             channel.set(value, generation)
         self.stats.reordered += len(batch)

@@ -22,6 +22,8 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from . import trace
+from ..sanitize import racecheck as _racecheck
+from ..sanitize import state as _sanitize_state
 from .counters import CounterRegistry, default_registry
 from .future import Future, make_exceptional_future, make_ready_future
 
@@ -120,6 +122,10 @@ class AgasRuntime:
             gid = Gid(locality, next(self._seq))
             self._objects[gid] = component
             self._home[gid] = locality
+            if _sanitize_state.ACTIVE:
+                # registrant -> resolver edge: the component's constructed
+                # state happens-before any access through its GID
+                _racecheck.send(("agas", gid))
         component.gid = gid
         return gid
 
@@ -136,13 +142,17 @@ class AgasRuntime:
         """Return ``(component, current locality)`` for a GID."""
         with self._lock:
             try:
-                return self._objects[gid], self._home[gid]
+                found = self._objects[gid], self._home[gid]
             except KeyError:
                 dead = self._lost.get(gid)
                 if dead is not None:
                     raise LocalityFailed(
                         f"{gid} was lost when locality {dead} failed") from None
                 raise AgasError(f"unknown gid {gid}") from None
+        if _sanitize_state.ACTIVE:
+            # acquire the registration/migration commit order for this GID
+            _racecheck.recv(("agas", gid))
+        return found
 
     def locality_of(self, gid: Gid) -> int:
         return self.resolve(gid)[1]
@@ -178,6 +188,10 @@ class AgasRuntime:
             self._home[gid] = new_locality
             comp = self._objects[gid]
             self._migrations += 1
+            if _sanitize_state.ACTIVE:
+                # migration commit: the mover's writes happen-before any
+                # post-migration resolve/notification of this GID
+                _racecheck.send(("agas", gid))
             owner = self._queue_notification(gid, comp, old, new_locality)
         if owner:
             self._drain_notifications(gid)
@@ -211,6 +225,10 @@ class AgasRuntime:
                     self._notify.pop(gid, None)
                     break
                 comp, old, new = pending[0]
+            if _sanitize_state.ACTIVE:
+                # the drainer may not be the migrator: order the callback
+                # after the migration commit it delivers
+                _racecheck.recv(("agas", gid))
             try:
                 comp.on_migrate(old, new)
             except BaseException as exc:
@@ -300,6 +318,8 @@ class AgasRuntime:
                     new = survivors[len(migrated) % len(survivors)]
                     self._home[gid] = new
                     self._migrations += 1
+                    if _sanitize_state.ACTIVE:
+                        _racecheck.send(("agas", gid))
                     if self._queue_notification(gid, comp, locality, new):
                         drains.append(gid)
                     migrated.append(gid)
@@ -349,6 +369,10 @@ class AgasRuntime:
             del self._lost[gid]
             self._objects[gid] = component
             self._home[gid] = locality
+            if _sanitize_state.ACTIVE:
+                # restore commit: the rebuilt state happens-before any
+                # resolve of the resurrected GID
+                _racecheck.send(("agas", gid))
         component.gid = gid
         self.registry.increment("/resilience/agas/components-restored")
         trace.instant("component-restored", "resilience",

@@ -48,6 +48,8 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from ..sanitize import racecheck as _racecheck
+from ..sanitize import state as _sanitize_state
 from .counters import CounterRegistry, default_registry
 from .cuda import StreamPool
 from .future import Future, Promise
@@ -140,6 +142,10 @@ class AggregationRegion:
         promises up front so callers get futures in input order before
         any flush happens).
         """
+        if _sanitize_state.ACTIVE:
+            # slot-fill edge: whatever the pusher wrote into the slot's
+            # arguments happens-before the flush that launches them
+            _racecheck.send(("agg", id(self)))
         self._pending.append((fn, tuple(args), promise))
         if len(self._pending) >= self.slots:
             self._flush("full")
@@ -165,6 +171,8 @@ class AggregationRegion:
         pending, self._pending = self._pending, []
         if not pending:
             return
+        if _sanitize_state.ACTIVE:
+            _racecheck.recv(("agg", id(self)))
         n = len(pending)
         lease = self.pool.acquire() if self.pool is not None else None
         if lease is not None:

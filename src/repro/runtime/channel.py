@@ -23,6 +23,8 @@ from typing import Any, Generic, TypeVar
 
 from ..sanitize import lockdep as _sanitize_lockdep
 from ..sanitize import protocol as _sanitize_protocol
+from ..sanitize import racecheck as _racecheck
+from ..sanitize import schedules as _schedules
 from ..sanitize import state as _sanitize_state
 from .future import Future, Promise
 
@@ -119,6 +121,11 @@ class Channel(Generic[T]):
                 value = self._ready.pop(generation)
                 self._next_get = max(self._next_get, generation + 1)
                 self._mark_consumed(generation)
+                if _sanitize_state.ACTIVE:
+                    # the fresh promise below resolves on *this* thread,
+                    # so the sender -> getter edge must come from the
+                    # channel generation itself
+                    _racecheck.recv(("chan", id(self), generation))
                 p = Promise()
                 p.set_value(value)
                 return p.get_future()
@@ -133,6 +140,9 @@ class Channel(Generic[T]):
 
     def set(self, value: T, generation: int | None = None) -> None:
         """Publish ``value`` for ``generation`` (default: next in order)."""
+        exp = _schedules.EXPLORER
+        if exp is not None:
+            exp.pause("channel-set")
         with self._lock:
             if self._closed:
                 if _sanitize_state.ACTIVE:
@@ -161,6 +171,11 @@ class Channel(Generic[T]):
                 raise ChannelGenerationError(
                     f"generation {generation} already consumed on channel "
                     f"{self.name!r}; refusing to re-set")
+            if _sanitize_state.ACTIVE:
+                # sender release edge for this generation (paired with
+                # the recv in the buffered-get path; the promise path
+                # additionally gets the future's own resolution edge)
+                _racecheck.send(("chan", id(self), generation))
             promise = self._promises.pop(generation, None)
             if promise is None:
                 self._ready[generation] = value

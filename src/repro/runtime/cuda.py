@@ -57,6 +57,7 @@ from typing import Any, Callable
 from . import trace
 from ..sanitize import lockdep as _sanitize_lockdep
 from ..sanitize import protocol as _sanitize_protocol
+from ..sanitize import racecheck as _racecheck
 from ..sanitize import state as _sanitize_state
 from .counters import CounterRegistry, default_registry
 from .future import Future, Promise
@@ -161,6 +162,10 @@ class CudaStream:
         fut = promise.get_future()
         with self._lock:
             self._reserved = False
+            if _sanitize_state.ACTIVE:
+                # submitter -> device-worker edge (per-stream FIFO, so one
+                # cumulative key per stream is exact for the head op)
+                _racecheck.send(("stream-op", id(self)))
             self._queue.append((fn, args, promise))
             self._last_future = fut
             should_kick = not self._in_flight
@@ -225,6 +230,11 @@ class CudaStream:
             self._lease_token += 1
             self._lease_deadline = now + timeout
             token = self._lease_token
+            if _sanitize_state.ACTIVE:
+                # acquire edge from the previous holder's release (or the
+                # device worker finishing the previous kernel), so writes
+                # made under successive leases of one stream are ordered
+                _racecheck.recv(("stream", id(self)))
         if readmitted:
             default_registry().increment("/cuda/readmitted")
             if trace.TRACING:
@@ -243,6 +253,10 @@ class CudaStream:
             if token is None or (self._reserved
                                  and self._lease_token == token):
                 self._reserved = False
+                if _sanitize_state.ACTIVE:
+                    # lease handoff: the holder's writes happen-before
+                    # whoever reserves this stream next
+                    _racecheck.send(("stream", id(self)))
 
     # -- stream health -------------------------------------------------------
 
@@ -382,6 +396,8 @@ class CudaDevice:
             if item is None:
                 continue
             fn, args, promise = item
+            if _sanitize_state.ACTIVE:
+                _racecheck.recv(("stream-op", id(stream)))
             t0 = time.perf_counter() if trace.TRACING else 0.0
             if isinstance(fn, AggregatedOp):
                 # aggregated launch: one queue op, per-slot poison draws
@@ -413,6 +429,9 @@ class CudaDevice:
                 more = bool(stream._queue)
                 if not more:
                     stream._in_flight = False
+                if _sanitize_state.ACTIVE:
+                    # kernel completion happens-before the next reserve
+                    _racecheck.send(("stream", id(stream)))
             if more:
                 self._dispatch(stream)
 

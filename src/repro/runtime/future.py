@@ -45,6 +45,7 @@ from typing import Any, Callable, Iterable, Sequence
 from . import trace
 from ..sanitize import futuregraph as _sanitize_graph
 from ..sanitize import lockdep as _sanitize_lockdep
+from ..sanitize import racecheck as _racecheck
 from ..sanitize import state as _sanitize_state
 
 __all__ = [
@@ -201,6 +202,7 @@ class Future:
             self._cond.notify_all()
         if self._san_seq is not None:
             _sanitize_graph.on_resolved(self, self._exception, cancelled=True)
+            _racecheck.send(("fut", self._san_seq))
         self._run_callbacks(callbacks)
         return True
 
@@ -218,6 +220,9 @@ class Future:
             self._cond.notify_all()
         if self._san_seq is not None:
             _sanitize_graph.on_resolved(self)
+            # release edge: everything the producer did happens-before
+            # any consumer that observes readiness (get/wait/callbacks)
+            _racecheck.send(("fut", self._san_seq))
         self._run_callbacks(callbacks)
 
     def _set_exception(self, exc: BaseException) -> None:
@@ -232,6 +237,7 @@ class Future:
             self._cond.notify_all()
         if self._san_seq is not None:
             _sanitize_graph.on_resolved(self, exc)
+            _racecheck.send(("fut", self._san_seq))
         self._run_callbacks(callbacks)
 
     def _run_callbacks(self, callbacks: Sequence[Callable[[Future], None]]) -> None:
@@ -296,8 +302,13 @@ class Future:
                 assert self._exception is not None
                 if _sanitize_state.ACTIVE and self._san_seq is not None:
                     _sanitize_graph.mark_error_consumed(self)
+                    _racecheck.recv(("fut", self._san_seq))
                 raise self._exception
-            return self._value
+            value = self._value
+        # acquire edge: the producer's writes happen-before this return
+        if _sanitize_state.ACTIVE and self._san_seq is not None:
+            _racecheck.recv(("fut", self._san_seq))
+        return value
 
     def wait(self, timeout: float | None = None) -> bool:
         """Block until ready without consuming the value. Returns readiness.
@@ -306,7 +317,10 @@ class Future:
         """
         bound = self._clamp_timeout(timeout)
         with self._cond:
-            return self._cond.wait_for(lambda: self._state != _PENDING, bound)
+            ready = self._cond.wait_for(lambda: self._state != _PENDING, bound)
+        if ready and _sanitize_state.ACTIVE and self._san_seq is not None:
+            _racecheck.recv(("fut", self._san_seq))
+        return ready
 
     # -- composition ---------------------------------------------------------
 
@@ -363,6 +377,9 @@ class Future:
         return self.then(handler, executor=executor)
 
     def _on_ready(self, cb: Callable[["Future"], None]) -> None:
+        if _sanitize_state.ACTIVE and self._san_seq is not None:
+            # registrar -> callback and resolver -> callback edges
+            cb = _racecheck.wrap_callback(("fut", self._san_seq), cb)
         with self._lock:
             if self._state == _PENDING:
                 self._callbacks.append(cb)
@@ -429,13 +446,22 @@ def when_all(futures: Iterable[Future]) -> Future:
         return result
     remaining = [len(futs)]
     lock = threading.Lock()
+    # the counter lock is the real barrier join: every done() below is
+    # ordered by it, so publishing clocks under it (send) and joining
+    # them in the firing thread (recv) makes the firing thread inherit
+    # happens-before from *all* inputs, not just the last to resolve
+    wa_key = _racecheck.new_token() if _sanitize_state.ACTIVE else None
 
     def arm(f: Future) -> None:
         def done(_: Future) -> None:
             with lock:
                 remaining[0] -= 1
                 fire = remaining[0] == 0
+                if wa_key is not None:
+                    _racecheck.send(wa_key)
             if fire:
+                if wa_key is not None:
+                    _racecheck.recv(wa_key)
                 result._set_value(futs)
         f._on_ready(done)
 
@@ -526,5 +552,8 @@ def async_execute(fn: Callable[..., Any], *args: Any,
     if executor is None:
         run()
     else:
+        if _sanitize_state.ACTIVE:
+            # submitter -> task edge for non-scheduler executors
+            run = _racecheck.wrap_callback(None, run)
         executor(run)
     return result

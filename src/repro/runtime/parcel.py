@@ -25,6 +25,9 @@ from typing import Any
 
 import numpy as np
 
+from ..sanitize import racecheck as _racecheck
+from ..sanitize import schedules as _schedules
+from ..sanitize import state as _sanitize_state
 from .agas import AgasRuntime, Gid
 from .future import Future
 
@@ -78,6 +81,10 @@ class Parcel:
         with Parcel._counter_lock:
             Parcel._counter += 1
             self.seq = Parcel._counter
+        if _sanitize_state.ACTIVE:
+            # send edge: the sender's writes to the payload happen-before
+            # delivery (the handler recvs on this parcel's seq)
+            _racecheck.send(("parcel", self.seq))
 
     def _header_bytes(self) -> int:
         # GID (16) + action name + framing, mirroring HPX parcel headers
@@ -109,6 +116,11 @@ class ParcelHandler:
 
     def deliver(self, parcel: Parcel) -> Future:
         """Decode and run the parcel's action; returns the action's future."""
+        exp = _schedules.EXPLORER
+        if exp is not None:
+            exp.pause("parcel-deliver")
+        if _sanitize_state.ACTIVE:
+            _racecheck.recv(("parcel", parcel.seq))
         with self._lock:
             self.received += 1
             self.bytes_received += parcel.size_bytes

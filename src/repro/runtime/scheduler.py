@@ -34,6 +34,8 @@ from typing import Any, Callable
 
 from . import trace
 from ..sanitize import lockdep as _sanitize_lockdep
+from ..sanitize import racecheck as _racecheck
+from ..sanitize import schedules as _schedules
 from ..sanitize import state as _sanitize_state
 from .counters import CounterRegistry, default_registry
 from .future import Future, async_execute
@@ -124,7 +126,11 @@ class _Worker(threading.Thread):
     def _steal(self) -> Any:
         workers = self.sched._workers
         n = len(workers)
-        start = self.rng.randrange(n)
+        exp = _schedules.EXPLORER
+        if exp is not None:
+            start = exp.pick("steal", n)  # seeded victim-scan steering
+        else:
+            start = self.rng.randrange(n)
         for k in range(n):
             victim = workers[(start + k) % n]
             if victim is self:
@@ -143,6 +149,9 @@ class _Worker(threading.Thread):
 
     def _execute(self, task: Callable[[], None]) -> None:
         sched = self.sched
+        exp = _schedules.EXPLORER
+        if exp is not None:
+            exp.pause("task-begin")  # PCT-style churn: perturb who runs next
         t0 = time.perf_counter() if trace.TRACING else 0.0
         if _sanitize_state.ACTIVE:
             # a worker must enter user code lock-free: anything it still
@@ -212,6 +221,13 @@ class WorkStealingScheduler:
         progress are still accepted (continuations spawned by draining
         tasks must be allowed to run).
         """
+        if _sanitize_state.ACTIVE:
+            # poster -> task edge now; task end -> wait_idle drain edge
+            task = _racecheck.wrap_callback(
+                None, task, drain_key=("sched-drain", id(self)))
+        exp = _schedules.EXPLORER
+        if exp is not None:
+            exp.pause("sched-post")
         worker = getattr(_TLS, "worker", None)
         local = worker is not None and worker.sched is self
         with self._idle_cond:
@@ -242,6 +258,16 @@ class WorkStealingScheduler:
         tasks = list(tasks)
         if not tasks:
             return
+        if _sanitize_state.ACTIVE:
+            drain = ("sched-drain", id(self))
+            tasks = [_racecheck.wrap_callback(None, t, drain_key=drain)
+                     for t in tasks]
+        exp = _schedules.EXPLORER
+        if exp is not None:
+            # a fan-out batch carries no mutual ordering guarantee —
+            # permuting it is a legal schedule the OS could produce
+            tasks = exp.permute("sched-batch", tasks)
+            exp.pause("sched-post")
         worker = getattr(_TLS, "worker", None)
         local = worker is not None and worker.sched is self
         with self._idle_cond:
@@ -268,7 +294,12 @@ class WorkStealingScheduler:
     def wait_idle(self, timeout: float | None = None) -> bool:
         """Block until no task is queued or running."""
         with self._idle_cond:
-            return self._idle_cond.wait_for(lambda: self._pending == 0, timeout)
+            idle = self._idle_cond.wait_for(lambda: self._pending == 0,
+                                            timeout)
+        if idle and _sanitize_state.ACTIVE:
+            # acquire edge from every drained task's end-of-body release
+            _racecheck.recv(("sched-drain", id(self)))
+        return idle
 
     def shutdown(self) -> None:
         with self._idle_cond:

@@ -13,7 +13,14 @@ hand.  This package detects those hazard classes mechanically:
   is never consumed, scheduler workers stalled in unbounded ``get``;
 * :mod:`.protocol` — stream-lease lifecycle (held → consumed xor
   released, exactly once) and channel generation protocol (set at most
-  once, never after close/consume).
+  once, never after close/consume);
+* :mod:`.racecheck` — FastTrack-style vector-clock happens-before data
+  races on shared buffers declared through :func:`access`, with the
+  runtime's sync vocabulary (futures, channels, scheduler, leases,
+  aggregation, AGAS, parcels) publishing the happens-before edges;
+* :mod:`.schedules` — seeded, replayable adversarial schedule
+  exploration (priority churn + delivery permutation) so the above run
+  on many interleavings, not just the one the OS produced.
 
 Enable with ``REPRO_SANITIZE=1`` in the environment (instruments the
 whole process — how CI runs the suite) or :func:`enable` *before*
@@ -29,17 +36,19 @@ humans.  Tests isolate injected hazards with :func:`scope`.
 
 from __future__ import annotations
 
-from . import futuregraph, lockdep, protocol, state
+from . import futuregraph, lockdep, protocol, racecheck, schedules, state
 from .lockdep import make_condition, make_lock
+from .racecheck import access
 from .state import (Finding, clear, configure, disable, enable, enabled,
                     finding_count, findings, record, scope)
 
 __all__ = [
     "Finding", "enable", "disable", "enabled", "configure",
     "findings", "finding_count", "clear", "scope", "record",
-    "make_lock", "make_condition",
+    "make_lock", "make_condition", "access",
     "sweep", "report", "publish_counters", "reset_graphs",
-    "state", "lockdep", "futuregraph", "protocol",
+    "state", "lockdep", "futuregraph", "protocol", "racecheck",
+    "schedules",
 ]
 
 
@@ -61,6 +70,7 @@ def reset_graphs() -> None:
     lockdep.reset()
     futuregraph.reset()
     protocol.reset()
+    racecheck.reset()
     clear()
 
 
@@ -73,6 +83,8 @@ def publish_counters(registry=None) -> None:
     registry.set_gauge("/sanitize/findings-live", float(len(all_findings)))
     registry.set_gauge("/sanitize/futures-pending",
                        float(futuregraph.pending_count()))
+    racecheck.publish_counters(registry)
+    schedules.publish_counters(registry)
 
 
 def report() -> str:

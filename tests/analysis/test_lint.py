@@ -332,6 +332,81 @@ def test_repro009_store_module_and_reads_are_clean():
     assert _lint("mgr._checkpoint = cp") == []
 
 
+# -- REPRO010: task-body buffer writes invisible to the race detector -----
+
+def test_repro010_subscript_write_to_out_param():
+    vs = _lint("""
+        def kern(x, out):
+            out[...] = x * 2
+
+        engine.map(kern, [(1,)])
+    """, rel="repro/core/hydro/mod.py")
+    assert [v.rule for v in vs] == ["REPRO010"]
+    assert "race detector" in vs[0].message
+    assert "sanitize.access" in vs[0].message
+
+
+def test_repro010_workspace_pool_and_alias_mutations_fire():
+    for body in ("acc = ws.take('acc', 8)\n    acc += x",
+                 "buf = self._ws.buf('b', 8)\n    buf[0] = x",
+                 "o = self._pool_out('m2l', slot, n)\n    np.copyto(o, x)",
+                 "rhs2 = out\n    rhs2[...] = x",
+                 "r = out if out is not None else alloc()\n    r[...] = x"):
+        src = (f"def kern(x, out, slot=0, n=1):\n    {body}\n\n"
+               "engine.submit(kern, 1)\n")
+        vs = lint_source(src, rel="repro/core/gravity/mod.py")
+        assert [v.rule for v in vs] == ["REPRO010"], body
+
+
+def test_repro010_access_declaration_exempts_the_function():
+    assert _lint("""
+        def kern(x, out):
+            _racecheck.access(out, "w", owner="k")
+            out[...] = x * 2
+
+        engine.map(kern, [(1,)])
+    """, rel="repro/core/hydro/mod.py") == []
+
+
+def test_repro010_out_of_scope_cases_are_clean():
+    # not dispatched through an engine: plain helper, rule silent
+    assert _lint("""
+        def helper(x, out):
+            out[...] = x
+    """, rel="repro/core/hydro/mod.py") == []
+    # dispatched but outside core/: the runtime orders its own writes
+    assert _lint("""
+        def kern(x, out):
+            out[...] = x
+
+        engine.map(kern, [(1,)])
+    """, rel="repro/runtime/mod.py") == []
+    # dispatched core/ kernel mutating only its own locals: clean
+    assert _lint("""
+        def kern(x, out):
+            tmp = [0]
+            tmp[0] = x
+            return tmp
+
+        engine.map(kern, [(1,)])
+    """, rel="repro/core/hydro/mod.py") == []
+
+
+def test_repro010_collection_crosses_files(tmp_path):
+    """The dispatch site and the kernel live in different files; the
+    two-pass lint_paths still connects them."""
+    pkg = tmp_path / "core" / "hydro"
+    pkg.mkdir(parents=True)
+    (pkg / "kern.py").write_text(
+        "def remote_kern(x, out):\n    out[...] = x\n")
+    (tmp_path / "driver.py").write_text(
+        "engine.map(remote_kern, [(1,)])\n")
+    vs = lint_paths([str(tmp_path)])
+    assert [v.rule for v in vs] == ["REPRO010"]
+    # single-file lint of the kernel alone cannot see the dispatch
+    assert lint_paths([str(pkg / "kern.py")]) == []
+
+
 # -- syntax errors, repo cleanliness, CLI ---------------------------------
 
 def test_syntax_error_is_reported_not_raised():

@@ -4,11 +4,29 @@ import numpy as np
 import pytest
 
 from repro import sanitize
+from repro.sanitize import schedules
 
 
 @pytest.fixture
 def rng():
     return np.random.default_rng(0xBEEF)
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _schedule_explorer():
+    """Honour ``REPRO_SCHEDULE_SEED``: run the whole suite under one
+    adversarial-but-replayable schedule.
+
+    Inert when the variable is unset; with it, every instrumented
+    scheduling point (task post, steal scan, channel set, parcel
+    delivery, transport flush) draws seeded perturbations, so the
+    bit-identity tests double as a schedule-fuzz smoke — CI sweeps 25
+    seeds, a failure replays locally from the printed seed alone.
+    """
+    exp = schedules.install_from_env()
+    yield exp
+    if exp is not None:
+        schedules.uninstall()
 
 
 @pytest.fixture
